@@ -1,0 +1,36 @@
+"""Shared machinery for the benchmark suite.
+
+Every file under ``benchmarks/`` regenerates one paper artifact: it runs
+the corresponding experiment through pytest-benchmark (one timed round —
+the experiments are deterministic), prints the reproduced table, writes it
+to ``results/<exp_id>.txt``, and asserts the paper's qualitative *shape*
+(orderings, crossovers, ratios).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import run_experiment
+from repro.bench.report import Table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def reproduce(benchmark):
+    """Run one experiment under the benchmark timer and persist its table."""
+
+    def _run(exp_id: str, quick: bool = False) -> Table:
+        table = benchmark.pedantic(
+            run_experiment, args=(exp_id,), kwargs={"quick": quick},
+            rounds=1, iterations=1,
+        )
+        print()
+        print(table.render())
+        table.save(RESULTS_DIR, exp_id)
+        return table
+
+    return _run

@@ -1,0 +1,16 @@
+"""Ablation: collective algorithm selection (§7 future work)."""
+
+
+def test_ablation_collectives(reproduce):
+    table = reproduce("abl-collectives")
+    picks = dict(zip(table.column("words/rank/level"), table.column("auto picks")))
+    # Tiny messages (latency-bound): Bruck's log(p) rounds win.
+    assert picks[10] == "bruck"
+    assert picks[100] == "bruck"
+    # Bulk messages (bandwidth-bound): pairwise moves each word once.
+    assert picks[100_000] == "pairwise"
+    assert picks[1_000_000] == "pairwise"
+    # Auto never exceeds either fixed algorithm.
+    for row in table.rows:
+        _w, pairwise, bruck, _pick = row
+        assert min(pairwise, bruck) > 0

@@ -1,0 +1,25 @@
+"""Ablation: locality relabeling vs the paper's randomization (§4.4, §7)."""
+
+
+def test_ablation_ordering(reproduce):
+    table = reproduce("abl-ordering")
+    rows = {(r[0], r[1]): {"cut": r[2], "balance": r[3]} for r in table.rows}
+    # Randomization makes the cut near-worst-case but the balance tight
+    # (Section 4.4's trade, on both graphs).
+    for graph in ("web crawl", "R-MAT"):
+        assert rows[(graph, "random (paper)")]["balance"] < 1.4, graph
+        assert rows[(graph, "random (paper)")]["cut"] > 0.85, graph
+    # The crawl has structure to exploit: its natural order cuts far less.
+    assert (
+        rows[("web crawl", "natural")]["cut"]
+        < 0.6 * rows[("web crawl", "random (paper)")]["cut"]
+    )
+    # RCM recovers some crawl locality but barely moves R-MAT ("the
+    # graphs lack good separators", Section 6).
+    assert (
+        rows[("web crawl", "RCM")]["cut"]
+        < 0.85 * rows[("web crawl", "random (paper)")]["cut"]
+    )
+    assert rows[("R-MAT", "RCM")]["cut"] > 0.8 * rows[("R-MAT", "random (paper)")]["cut"]
+    # Without randomization, R-MAT's skew wrecks the balance.
+    assert rows[("R-MAT", "natural")]["balance"] > 2.0

@@ -1,0 +1,28 @@
+"""Ablation benches for the design choices called out in DESIGN.md."""
+
+
+def test_ablation_dedup(reproduce):
+    table = reproduce("abl-dedup")
+    rows = {
+        (row[0], row[1]): {"words": row[2], "gteps": row[3]}
+        for row in table.rows
+    }
+    for ranks in (8, 32):
+        on, off = rows[(ranks, "on")], rows[(ranks, "off")]
+        # Dedup strictly reduces wire volume and improves the rate.
+        assert on["words"] < off["words"], ranks
+        assert on["gteps"] >= off["gteps"], ranks
+    # The relative saving shrinks as ranks grow (duplicates spread out).
+    saving_8 = rows[(8, "off")]["words"] / rows[(8, "on")]["words"]
+    saving_32 = rows[(32, "off")]["words"] / rows[(32, "on")]["words"]
+    assert saving_8 > saving_32 > 1.0
+
+
+def test_ablation_shuffle(reproduce):
+    table = reproduce("abl-shuffle")
+    rows = {row[0]: {"edges": row[1], "comp": row[2]} for row in table.rows}
+    # Random relabeling flattens both the edge distribution and the
+    # resulting per-rank compute times (Section 4.4).
+    assert rows["on"]["edges"] < 1.5
+    assert rows["off"]["edges"] > 2.0
+    assert rows["on"]["comp"] < rows["off"]["comp"]

@@ -1,0 +1,17 @@
+"""Figure 4: diagonal-only vs 2D vector distribution load balance."""
+
+
+def test_fig4_vector_distribution(reproduce):
+    table = reproduce("fig4")
+    rows = {row[0]: row[1:] for row in table.rows}
+    diag_pct, off_pct, idle_ratio = rows["diagonal only (1D)"]
+    diag2d_pct, off2d_pct, idle_ratio_2d = rows["2D (all ranks)"]
+    # Diagonal-only: off-diagonal ranks spend more of their time in MPI
+    # (idling for the diagonal's merge) than the diagonal ranks do.
+    assert off_pct > diag_pct
+    # Their MPI time is dominated by idling, several times the transfer
+    # (paper: "approximately 3-4 times").
+    assert idle_ratio > 1.5
+    # The 2D vector distribution removes the imbalance almost entirely.
+    assert idle_ratio_2d < 0.5 * idle_ratio
+    assert abs(off2d_pct - diag2d_pct) < 10.0

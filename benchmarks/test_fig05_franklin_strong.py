@@ -1,0 +1,39 @@
+"""Figure 5: strong scaling on Franklin (GTEPS)."""
+
+
+def _panel(table, scale):
+    return {
+        row[2]: dict(zip(table.headers[3:], row[3:]))
+        for row in table.rows
+        if row[0] == scale
+    }
+
+
+def test_fig5_franklin_strong(reproduce):
+    table = reproduce("fig5")
+    s29 = _panel(table, 29)
+
+    # Flat 1D is the fastest flat code at small/medium concurrency and is
+    # roughly 1.5-1.8x the flat 2D code (paper's headline for Franklin).
+    for cores in (512, 1024, 2048):
+        assert s29[cores]["1d"] > s29[cores]["2d"]
+    ratio = s29[1024]["1d"] / s29[1024]["2d"]
+    assert 1.2 < ratio < 2.5
+
+    # The 1D hybrid is slower than flat 1D at 512 cores but overtakes it
+    # at the largest concurrency.
+    assert s29[512]["1d-hybrid"] < s29[512]["1d"]
+    assert s29[4096]["1d-hybrid"] > s29[4096]["1d"]
+
+    # Everything strong-scales: more cores, more GTEPS.
+    for algo in ("1d", "1d-hybrid", "2d", "2d-hybrid"):
+        series = [s29[c][algo] for c in (512, 1024, 2048, 4096)]
+        assert all(b > a for a, b in zip(series, series[1:]))
+
+    # Absolute rates in the paper's band (flat 1D: ~2.5 -> ~7.5 GTEPS).
+    assert 1.5 < s29[512]["1d"] < 4.0
+    assert 5.0 < s29[4096]["1d"] < 9.5
+
+    # Larger problem (scale 32): flat 1D still leads the 2D codes.
+    s32 = _panel(table, 32)
+    assert s32[4096]["1d"] > s32[4096]["2d"]

@@ -1,0 +1,31 @@
+"""Figure 6: MPI communication time on Franklin."""
+
+
+def _panel(table, scale):
+    return {
+        row[2]: dict(zip(table.headers[3:], row[3:]))
+        for row in table.rows
+        if row[0] == scale
+    }
+
+
+def test_fig6_franklin_comm(reproduce):
+    table = reproduce("fig6")
+    for scale in (29, 32):
+        panel = _panel(table, scale)
+        for cores, row in panel.items():
+            # 2D variants consistently communicate less than their 1D
+            # counterparts (paper: "30-60% less for scale 32").
+            assert row["2d comm(s)"] < row["1d comm(s)"], (scale, cores)
+            assert row["2d-hybrid comm(s)"] < row["1d-hybrid comm(s)"], (scale, cores)
+            # Hybrids communicate less than their flat counterparts.
+            assert row["1d-hybrid comm(s)"] < row["1d comm(s)"], (scale, cores)
+    s32 = _panel(table, 32)
+    for cores, row in s32.items():
+        saving = 1.0 - row["2d comm(s)"] / row["1d comm(s)"]
+        assert 0.25 < saving < 0.75, (cores, saving)
+    # Headline: the hybrid 2D cuts communication up to ~3.5x vs flat 1D.
+    best = max(
+        row["1d comm(s)"] / row["2d-hybrid comm(s)"] for row in s32.values()
+    )
+    assert best > 2.5

@@ -1,0 +1,29 @@
+"""Figure 7: strong scaling on Hopper (GTEPS)."""
+
+
+def _panel(table, scale):
+    return {
+        row[2]: dict(zip(table.headers[3:], row[3:]))
+        for row in table.rows
+        if row[0] == scale
+    }
+
+
+def test_fig7_hopper_strong(reproduce):
+    table = reproduce("fig7")
+    for scale in (30, 32):
+        panel = _panel(table, scale)
+        for cores, row in panel.items():
+            # "By contrast to Franklin results, the 2D algorithms score
+            # higher than their 1D counterparts" on Hopper.
+            assert row["2d"] > row["1d"], (scale, cores)
+            assert row["2d-hybrid"] > row["1d-hybrid"], (scale, cores)
+            # The hybrid 2D is the overall winner.
+            assert row["2d-hybrid"] == max(row.values()), (scale, cores)
+    # The headline number: ~17.8 GTEPS at 40,000 cores on scale 32
+    # (reproduction target: same order, within ~50%).
+    s32 = _panel(table, 32)
+    assert 12.0 < s32[40000]["2d-hybrid"] < 27.0
+    # BFS scales all the way to 40K cores.
+    series = [s32[c]["2d-hybrid"] for c in (5040, 10008, 20000, 40000)]
+    assert all(b > a for a, b in zip(series, series[1:]))

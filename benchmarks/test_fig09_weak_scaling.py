@@ -1,0 +1,19 @@
+"""Figure 9: weak scaling on Franklin (~17M edges per core)."""
+
+
+def test_fig9_weak_scaling(reproduce):
+    table = reproduce("fig9")
+    rows = {row[0]: dict(zip(table.headers[2:], row[2:])) for row in table.rows}
+    for cores, row in rows.items():
+        # Weak-scaling regime: flat 1D beats hybrid 1D "both in terms of
+        # overall performance and communication costs".
+        assert row["1d time(s)"] < row["1d-hybrid time(s)"], cores
+        # 2D communicates far less than 1D...
+        assert row["2d comm(s)"] < 0.7 * row["1d comm(s)"], cores
+        # ... but comes later in overall performance on Franklin.
+        assert row["2d time(s)"] > 0.9 * row["1d time(s)"], cores
+    # Weak scaling is not flat: communication grows with the machine.
+    assert rows[4096]["1d comm(s)"] > rows[512]["1d comm(s)"]
+    # Mean search times stay in the paper's single-digit-seconds band.
+    assert 1.0 < rows[512]["1d time(s)"] < 8.0
+    assert 3.0 < rows[4096]["1d time(s)"] < 16.0

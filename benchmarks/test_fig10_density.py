@@ -1,0 +1,24 @@
+"""Figure 10: sensitivity to the average degree."""
+
+
+def test_fig10_density(reproduce):
+    table = reproduce("fig10")
+    rows = {
+        (row[0], row[2]): dict(zip(table.headers[3:], row[3:]))
+        for row in table.rows  # keyed by (cores, degree)
+    }
+    for cores in (1024, 4096):
+        # 1D wins decisively on the sparsest graphs...
+        assert rows[(cores, 4)]["1d"] > 1.5 * rows[(cores, 4)]["2d"], cores
+        # ... still wins at the Graph 500 default on 1024 cores ...
+        if cores == 1024:
+            assert rows[(cores, 16)]["1d"] > rows[(cores, 16)]["2d"]
+        # ... and flat 2D beats flat 1D "for the first time" at degree 64.
+        assert rows[(cores, 64)]["2d"] > rows[(cores, 64)]["1d"], cores
+        # The margin moves monotonically in 1D's favour as the graph
+        # sparsifies (the paper's stated trend).
+        margins = [
+            rows[(cores, deg)]["1d"] / rows[(cores, deg)]["2d"]
+            for deg in (64, 16, 4)
+        ]
+        assert margins[0] < margins[1] < margins[2], (cores, margins)

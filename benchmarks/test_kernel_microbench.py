@@ -1,0 +1,81 @@
+"""Kernel micro-benchmarks: raw throughput of the hot primitives.
+
+These are classic pytest-benchmark timings (many rounds, statistics) of
+the kernels every traversal is built from — useful both as a regression
+guard for the substrate and as the "profile before optimizing" baseline
+the HPC workflow prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import build_send_buffers, dedup_candidates
+from repro.graphs.csr import build_csr
+from repro.graphs.rmat import rmat_edges
+from repro.sparse.dcsc import DCSC
+from repro.sparse.spmsv import spmsv_heap, spmsv_spa
+
+SCALE = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    src, dst = rmat_edges(SCALE, 16, seed=9)
+    csr = build_csr(1 << SCALE, src, dst)
+    rng = np.random.default_rng(1)
+    frontier = np.unique(rng.integers(0, csr.n, 4096))
+    targets, sources = csr.gather(frontier)
+    block = DCSC.from_coo(csr.n, csr.n, csr.indices,
+                          np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees()))
+    return {
+        "src": src,
+        "dst": dst,
+        "csr": csr,
+        "frontier": frontier,
+        "targets": targets,
+        "sources": sources,
+        "block": block,
+    }
+
+
+def test_kernel_rmat_generation(benchmark):
+    src, dst = benchmark(rmat_edges, 14, 16, seed=3)
+    assert src.size == 16 << 14
+
+
+def test_kernel_csr_build(benchmark, workload):
+    csr = benchmark(build_csr, 1 << SCALE, workload["src"], workload["dst"])
+    assert csr.n == 1 << SCALE
+
+
+def test_kernel_frontier_gather(benchmark, workload):
+    targets, sources = benchmark(workload["csr"].gather, workload["frontier"])
+    assert targets.size == sources.size > 0
+
+
+def test_kernel_dedup(benchmark, workload):
+    t, p = benchmark(dedup_candidates, workload["targets"], workload["sources"])
+    assert np.all(np.diff(t) > 0)
+
+
+def test_kernel_send_buffers(benchmark, workload):
+    targets, sources = workload["targets"], workload["sources"]
+    owners = targets % 64
+    send = benchmark(build_send_buffers, targets, sources, owners, 64)
+    assert sum(buf.size for buf in send) == 2 * targets.size
+
+
+def test_kernel_spmsv_spa(benchmark, workload):
+    idx, val, work = benchmark(
+        spmsv_spa, workload["block"], workload["frontier"], workload["frontier"] + 1
+    )
+    assert work.candidates > 0
+
+
+def test_kernel_spmsv_heap(benchmark, workload):
+    idx, val, work = benchmark(
+        spmsv_heap, workload["block"], workload["frontier"], workload["frontier"] + 1
+    )
+    assert work.candidates > 0

@@ -1,0 +1,35 @@
+"""Section 6 text comparisons: reference MPI code and single-node BFS."""
+
+
+def test_sec6_reference_mpi(reproduce):
+    table = reproduce("sec6-ref")
+    functional = [row for row in table.rows if row[0].startswith("functional")]
+    projected = [row for row in table.rows if row[0].startswith("projected")]
+    # The tuned code wins everywhere.
+    assert all(row[4] > 1.0 for row in table.rows)
+    # At paper scale the advantage *grows* with core count
+    # (paper: 2.72x -> 3.43x -> 4.13x at 512/1024/2048).
+    speedups = [row[4] for row in projected]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[0] > 1.5
+    assert functional  # both regimes exercised
+
+
+def test_sec6_single_node(reproduce):
+    table = reproduce("sec6-node")
+    speedups = {row[0]: row[3] for row in table.rows}
+    rmat_key = next(k for k in speedups if k.startswith("R-MAT"))
+    # The tuned multithreaded single-node code clearly beats the untuned
+    # queue discipline on the Agarwal-style R-MAT input (the paper beats
+    # even *tuned* external codes by 1.3x; our baseline is weaker, so the
+    # gap is larger)...
+    assert speedups[rmat_key] > 1.3
+    # ... and wins on every Leiserson-style structured instance too,
+    for name, speedup in speedups.items():
+        assert speedup > 1.0, name
+    # ... though by less: structured meshes have fewer duplicate
+    # candidates for dedup to exploit and many more levels of thread
+    # overhead to pay.
+    assert all(
+        speedups[k] < speedups[rmat_key] for k in speedups if k != rmat_key
+    )

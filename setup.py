@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on systems without `wheel`.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+* :mod:`~repro.bench.report` — fixed-width table rendering and result
+  files;
+* :mod:`~repro.bench.harness` — shared machinery (source selection,
+  multi-source averaging, projection sweeps);
+* :mod:`~repro.bench.experiments` — one entry per paper artifact
+  (Figures 3-11, Tables 1-2, and the Section 6 text comparisons), each
+  returning a :class:`~repro.bench.report.Table`.
+
+Run everything with ``repro-bench all`` or a single experiment with e.g.
+``repro-bench fig5``; the pytest-benchmark suite under ``benchmarks/``
+wraps the same entry points.
+"""
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import average_bfs, pick_sources, projected_gteps
+from repro.bench.report import Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "average_bfs",
+    "pick_sources",
+    "projected_gteps",
+    "Table",
+]

@@ -1,0 +1,243 @@
+"""Terminal rendering of the paper's figures.
+
+The experiments return tabular data; this module draws them as ASCII
+charts so ``repro-bench --plot`` regenerates the *figures* and not just
+their numbers:
+
+* :func:`line_chart` — multi-series chart on a log-x axis (the strong-
+  scaling GTEPS/seconds plots, Figures 5-9);
+* :func:`bar_chart` — grouped horizontal bars (Figures 10 and 11);
+* :func:`series_from_table` — adapter from a
+  :class:`~repro.bench.report.Table` to plottable series.
+
+Everything is pure string manipulation (no plotting dependencies) and is
+deliberately deterministic so the outputs can be golden-tested.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.bench.report import Table
+
+#: Glyphs assigned to series, in order.
+MARKERS = "o*x+#@%&"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render named series against shared x positions as an ASCII chart.
+
+    ``log_x=True`` spaces the x axis logarithmically — core counts in the
+    paper's scaling studies double per tick, so linear spacing would
+    crush the left half of every figure.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+    if len(x_values) < 2:
+        raise ValueError("need at least two x positions")
+    if log_x and min(x_values) <= 0:
+        raise ValueError("log-x axis needs positive x values")
+
+    xs = [math.log10(x) if log_x else float(x) for x in x_values]
+    x_lo, x_hi = min(xs), max(xs)
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    for marker, (name, ys) in zip(MARKERS, series.items()):
+        # Connect consecutive points with interpolated dots, then stamp
+        # the markers on top so crossings stay readable.
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            steps = max(2, abs(col(x1) - col(x0)))
+            for s in range(steps + 1):
+                t = s / steps
+                c = col(x0 + t * (x1 - x0))
+                r = row(y0 + t * (y1 - y0))
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in zip(xs, ys):
+            grid[row(y)][col(x)] = marker
+
+    y_axis_width = max(len(_format_value(y_hi)), len(_format_value(y_lo)))
+    lines = [title, "=" * len(title)]
+    for r, grid_row in enumerate(grid):
+        if r == 0:
+            label = _format_value(y_hi)
+        elif r == height - 1:
+            label = _format_value(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(y_axis_width)} |" + "".join(grid_row))
+    lines.append(" " * y_axis_width + " +" + "-" * width)
+    x_left = _format_value(x_values[0])
+    x_right = _format_value(x_values[-1])
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (y_axis_width + 2) + x_left + " " * max(1, pad) + x_right
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(f"legend: {legend}" + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    categories: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 48,
+) -> str:
+    """Grouped horizontal bars, one block per category."""
+    if not series:
+        raise ValueError("need at least one series")
+    for name, vals in series.items():
+        if len(vals) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for "
+                f"{len(categories)} categories"
+            )
+    peak = max(max(vals) for vals in series.values())
+    if peak <= 0:
+        peak = 1.0
+    name_width = max(len(n) for n in series)
+    lines = [title, "=" * len(title)]
+    for i, category in enumerate(categories):
+        lines.append(f"{category}:")
+        for name, vals in series.items():
+            bar = "#" * max(1 if vals[i] > 0 else 0, round(width * vals[i] / peak))
+            lines.append(
+                f"  {name.ljust(name_width)} {bar} {_format_value(vals[i])}"
+            )
+    return "\n".join(lines)
+
+
+def series_from_table(
+    table: Table, x_column: str, series_columns: Sequence[str] | None = None,
+    where: dict | None = None,
+) -> tuple[list[float], dict[str, list[float]]]:
+    """Extract plottable (x, {name: ys}) data from an experiment table.
+
+    ``where`` filters rows by exact column values (e.g. one scale panel
+    of a two-panel figure).
+    """
+    rows = table.rows
+    if where:
+        indices = [table.headers.index(k) for k in where]
+        rows = [
+            r
+            for r in rows
+            if all(r[i] == v for i, v in zip(indices, where.values()))
+        ]
+    if not rows:
+        raise ValueError(f"no rows match {where!r}")
+    x_idx = table.headers.index(x_column)
+    if series_columns is None:
+        skip = set(where or {}) | {x_column}
+        series_columns = [
+            h
+            for i, h in enumerate(table.headers)
+            if h not in skip and isinstance(rows[0][i], (int, float))
+        ]
+    xs = [float(r[x_idx]) for r in rows]
+    series = {
+        name: [float(r[table.headers.index(name)]) for r in rows]
+        for name in series_columns
+    }
+    return xs, series
+
+
+def render_figure(table: Table, exp_id: str) -> str | None:
+    """Best-effort chart for a known experiment's table (None if the
+    experiment has no natural chart form)."""
+    if exp_id in ("fig5", "fig7"):
+        panels = sorted({row[0] for row in table.rows})
+        charts = []
+        for scale in panels:
+            xs, series = series_from_table(
+                table,
+                "cores",
+                series_columns=table.headers[3:],
+                where={"scale": scale},
+            )
+            charts.append(
+                line_chart(
+                    f"{table.title} [scale {scale}]",
+                    xs,
+                    series,
+                    y_label="GTEPS",
+                )
+            )
+        return "\n\n".join(charts)
+    if exp_id in ("fig6", "fig8"):
+        panels = sorted({row[0] for row in table.rows})
+        charts = []
+        for scale in panels:
+            xs, series = series_from_table(
+                table,
+                "cores",
+                series_columns=table.headers[3:],
+                where={"scale": scale},
+            )
+            charts.append(
+                line_chart(
+                    f"{table.title} [scale {scale}]",
+                    xs,
+                    series,
+                    y_label="seconds",
+                )
+            )
+        return "\n\n".join(charts)
+    if exp_id == "fig3":
+        xs, series = series_from_table(
+            table, "cores", series_columns=["modeled speedup"]
+        )
+        return line_chart(table.title, xs, series, y_label="SPA/heap speedup")
+    if exp_id == "fig10":
+        categories = [f"p={r[0]}, deg {r[2]}" for r in table.rows]
+        series = {
+            algo: [float(r[table.headers.index(algo)]) for r in table.rows]
+            for algo in table.headers[3:]
+        }
+        return bar_chart(table.title, categories, series)
+    if exp_id == "fig11":
+        categories = [f"{r[0]} @ {r[2]} cores" for r in table.rows]
+        idx_comp = table.headers.index("computation (s)")
+        idx_comm = table.headers.index("communication (s)")
+        series = {
+            "computation": [float(r[idx_comp]) for r in table.rows],
+            "communication": [float(r[idx_comm]) for r in table.rows],
+        }
+        return bar_chart(table.title, categories, series)
+    return None

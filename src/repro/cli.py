@@ -1,0 +1,128 @@
+"""Command-line entry point: ``repro-bench`` / ``python -m repro``.
+
+Regenerates the paper's tables and figures::
+
+    repro-bench list                 # show available experiments
+    repro-bench fig5                 # run one experiment
+    repro-bench all                  # run everything
+    repro-bench all --quick          # smaller graphs / fewer ranks
+    repro-bench fig7 -o results/     # also write results/<id>.txt
+
+and runs the Graph 500 benchmark flow::
+
+    repro-bench graph500 --scale 15 --algorithm 2d-hybrid --machine hopper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Reproduce the tables and figures of Buluc & Madduri, "
+            "'Parallel Breadth-First Search on Distributed Memory Systems' "
+            "(SC 2011)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', 'list', or 'graph500'",
+    )
+    group = parser.add_argument_group("graph500 options")
+    group.add_argument("--scale", type=int, default=14)
+    group.add_argument("--edgefactor", type=float, default=16)
+    group.add_argument("--algorithm", default="2d")
+    group.add_argument("--nprocs", type=int, default=16)
+    group.add_argument("--machine", default="hopper")
+    group.add_argument("--nbfs", type=int, default=8)
+    group.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="downscale graphs/ranks for a fast smoke run",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the experiment as an ASCII chart when it has one",
+    )
+    parser.add_argument(
+        "-o",
+        "--output-dir",
+        default=None,
+        help="directory to write <experiment>.txt result files into",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp_id, (_fn, desc) in EXPERIMENTS.items():
+            print(f"{exp_id.ljust(width)}  {desc}")
+        return 0
+
+    if args.experiment == "graph500":
+        from repro.graph500 import run_graph500
+
+        result = run_graph500(
+            scale=args.scale,
+            edgefactor=args.edgefactor,
+            nprocs=args.nprocs,
+            algorithm=args.algorithm,
+            machine=args.machine,
+            nbfs=args.nbfs,
+            seed=args.seed,
+        )
+        print(result.report())
+        return 0
+
+    if args.experiment == "all":
+        exp_ids = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        exp_ids = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    for exp_id in exp_ids:
+        start = time.perf_counter()
+        table = run_experiment(exp_id, quick=args.quick)
+        elapsed = time.perf_counter() - start
+        print(table.render())
+        chart = None
+        if args.plot or args.output_dir:
+            from repro.bench.plotting import render_figure
+
+            chart = render_figure(table, exp_id)
+        if args.plot and chart:
+            print()
+            print(chart)
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        if args.output_dir:
+            path = table.save(args.output_dir, exp_id)
+            print(f"wrote {path}")
+            if chart:
+                from pathlib import Path
+
+                chart_path = Path(args.output_dir) / f"{exp_id}.chart.txt"
+                chart_path.write_text(chart + "\n")
+                print(f"wrote {chart_path}")
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The paper's core contribution: distributed-memory BFS algorithms.
+
+* :func:`~repro.core.serial.bfs_serial` — Algorithm 1, the work-efficient
+  level-synchronous baseline and correctness oracle;
+* :func:`~repro.core.bfs1d.bfs_1d` — Algorithm 2: 1D vertex partitioning
+  with owner-side visited checks and a per-level ``Alltoallv`` edge
+  aggregation (flat MPI and hybrid via the thread model);
+* :func:`~repro.core.bfs2d.bfs_2d` — Algorithm 3: 2D sparse-matrix
+  partitioning, expand (``Allgatherv`` over processor columns) / fold
+  (``Alltoallv`` over processor rows) phases, DCSC blocks and the SPA/heap
+  SpMSV polyalgorithm;
+* :func:`~repro.core.runner.run_bfs` — one-call driver: partitions the
+  graph, launches the SPMD simulation, reassembles and (optionally)
+  validates the result, and reports TEPS plus modeled time breakdowns.
+"""
+
+from repro.core.bfs1d import bfs_1d
+from repro.core.bfs2d import bfs_2d
+from repro.core.partition import Decomp2D, Partition1D
+from repro.core.runner import ALGORITHMS, BFSResult, run_bfs
+from repro.core.serial import bfs_serial
+from repro.core.validate import count_traversed_edges, validate_bfs
+
+__all__ = [
+    "bfs_1d",
+    "bfs_2d",
+    "Decomp2D",
+    "Partition1D",
+    "ALGORITHMS",
+    "BFSResult",
+    "run_bfs",
+    "bfs_serial",
+    "count_traversed_edges",
+    "validate_bfs",
+]

@@ -1,0 +1,246 @@
+"""Distributed BFS with 2D matrix partitioning (Algorithm 3, Section 3.2).
+
+Each level is a sparse matrix - sparse vector product over the
+(select, max) semiring, executed in four phases on a square processor
+grid:
+
+1. **TransposeVector** — pairwise exchange so the frontier pieces line up
+   with processor *columns*;
+2. **expand** — ``Allgatherv`` along the processor column: every rank of
+   column ``j`` obtains the full frontier restricted to vertex block ``j``
+   (the columns of its matrix block);
+3. **local SpMSV** — DCSC column extraction plus SPA- or heap-based
+   merging, row-split into ``t`` thread pieces in the hybrid variant;
+4. **fold** — ``Alltoallv`` along the processor row scatters candidate
+   (vertex, parent) pairs to their vector-piece owners, who apply the
+   ``t . pi-bar`` mask and update the parents.
+
+Vertex ownership follows the "2D vector distribution" (every rank owns an
+equal slice; Section 3.2) by default; ``Decomp2D(diagonal_vectors=True)``
+reproduces the load-imbalanced diagonal-only distribution of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.frontier import (
+    build_send_buffers,
+    dedup_candidates,
+    unpack_pairs,
+)
+from repro.core.partition import Decomp2D
+from repro.graphs.csr import CSR
+from repro.model.costmodel import Charger
+from repro.mpsim.communicator import Communicator
+from repro.mpsim.grid import ProcessorGrid
+from repro.sparse.dcsc import DCSC
+from repro.sparse.spa import SPA
+from repro.sparse.spmsv import spmsv
+
+
+@dataclass(frozen=True)
+class LocalBlock:
+    """One rank's matrix block, row-split into thread pieces (Figure 2)."""
+
+    pieces: list[DCSC]
+    band_offsets: list[int]  # row offset of each piece within the block
+
+    @property
+    def nnz(self) -> int:
+        return sum(piece.nnz for piece in self.pieces)
+
+
+def build_2d_blocks(csr: CSR, decomp: Decomp2D, threads: int = 1) -> list[LocalBlock]:
+    """Distribute the adjacency matrix over the grid, one block per rank.
+
+    An edge ``u -> v`` becomes matrix entry ``(row=v, col=u)`` — i.e. the
+    stored matrix is the transpose ``A^T`` the multiplication needs ("we
+    will omit the transpose and assume that the input is pre-transposed",
+    Section 3.2).  Returns blocks in rank order (``rank = i * side + j``).
+    """
+    pr, pc = decomp.pr, decomp.pc
+    cols = np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees())
+    rows = csr.indices
+    bi = decomp.row_block_of(rows)
+    bj = decomp.col_block_of(cols)
+    ranks = bi * pc + bj
+    order = np.argsort(ranks, kind="stable")
+    rows, cols, ranks = rows[order], cols[order], ranks[order]
+    counts = np.bincount(ranks, minlength=pr * pc)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    blocks: list[LocalBlock] = []
+    for rank in range(pr * pc):
+        i, j = divmod(rank, pc)
+        rlo, rhi = decomp.row_block(i)
+        clo, chi = decomp.col_block(j)
+        sel = slice(offsets[rank], offsets[rank + 1])
+        block = DCSC.from_coo(
+            rhi - rlo,
+            chi - clo,
+            rows[sel] - rlo,
+            cols[sel] - clo,
+        )
+        pieces = block.split_rowwise(threads)
+        band = max(1, block.nrows // threads) if threads > 1 else block.nrows
+        band_offsets = [
+            min(t * band, block.nrows) if threads > 1 else 0
+            for t in range(len(pieces))
+        ]
+        blocks.append(LocalBlock(pieces=pieces, band_offsets=band_offsets))
+    return blocks
+
+
+def bfs_2d(
+    comm: Communicator,
+    blocks: list[LocalBlock],
+    decomp: Decomp2D,
+    source: int,
+    machine=None,
+    threads: int = 1,
+    kernel: str = "auto",
+    modeled_cores: int | None = None,
+    trace: bool = False,
+) -> dict:
+    """Rank body of the 2D algorithm (flat MPI when ``threads == 1``).
+
+    ``blocks`` comes from :func:`build_2d_blocks` with the same ``decomp``
+    and ``threads``.  ``modeled_cores`` feeds the SpMSV polyalgorithm's
+    concurrency predicate (defaults to ``comm.size * threads``).
+    ``trace`` records a per-level profile under the ``"trace"`` key.
+    """
+    grid = ProcessorGrid(comm, decomp.pr, decomp.pc)
+    # Row-split DCSC pieces are embarrassingly thread-parallel (Figure 2).
+    charger = Charger(comm, machine=machine, threads=threads, thread_efficiency=0.75)
+    local = blocks[comm.rank]
+    if modeled_cores is None:
+        modeled_cores = comm.size * threads
+
+    row_lo, _row_hi = decomp.row_block(grid.row)
+    col_lo, _col_hi = decomp.col_block(grid.col)
+    plo, phi = decomp.vec_piece(grid.row, grid.col)
+    nloc = phi - plo
+
+    levels = np.full(nloc, -1, dtype=np.int64)
+    parents = np.full(nloc, -1, dtype=np.int64)
+    spas = [SPA(piece.nrows) for piece in local.pieces] if kernel != "heap" else None
+
+    if plo <= source < phi:
+        levels[source - plo] = 0
+        parents[source - plo] = source
+        frontier = np.array([source], dtype=np.int64)
+    else:
+        frontier = np.empty(0, dtype=np.int64)
+
+    level = 1
+    level_trace: list[dict] = []
+    total = comm.allreduce(int(frontier.size))
+    while total > 0:
+        frontier_in = int(frontier.size)
+        # 1. TransposeVector: line the frontier up with processor columns.
+        #    On a square grid this is the paper's pairwise P(i,j)<->P(j,i)
+        #    swap; on a rectangular grid it is the general all-to-all
+        #    (Section 3.2): each element is routed along my processor row
+        #    to the grid column owning its column block, and step 2's
+        #    gather unions the rows' contributions.
+        if decomp.is_square:
+            transposed = grid.transpose_vector(frontier)
+        else:
+            dest_cols = decomp.col_block_of(frontier)
+            order = np.argsort(dest_cols, kind="stable")
+            routed = frontier[order]
+            counts = np.bincount(dest_cols, minlength=decomp.pc)
+            offs = np.concatenate([[0], np.cumsum(counts)])
+            transposed, _cnt = grid.row_comm.alltoallv_concat(
+                [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
+            )
+
+        # 2. Expand: column j assembles the full frontier of column block
+        #    j — the column support of every matrix block in this grid
+        #    column.  (On square grids the pieces happen to concatenate in
+        #    ascending vertex order; nothing downstream relies on it.)
+        f_col = grid.col_comm.allgatherv(transposed)
+        charger.stream(float(f_col.size))
+
+        # 3. Local SpMSV per thread piece; payload = the frontier vertex
+        #    id itself, which becomes the parent of the discovered row.
+        cand_rows = []
+        cand_parents = []
+        for t, piece in enumerate(local.pieces):
+            idx, val, work = spmsv(
+                piece,
+                f_col - col_lo,
+                f_col,
+                kernel=kernel,
+                modeled_cores=modeled_cores,
+                spa=spas[t] if spas is not None else None,
+            )
+            charger.random(
+                float(work.lookups), ws_words=2.0 * max(piece.nzc, 1)
+            )
+            if work.kernel == "spa":
+                # Flag probe + value scatter + index append per
+                # candidate, plus the per-level dense-accumulator touch.
+                charger.random(
+                    2.5 * work.candidates,
+                    ws_words=float(max(piece.nrows, 1)),
+                    candidates=float(work.candidates),
+                )
+                charger.stream(1.2 * piece.nrows)
+            else:
+                charger.intops(
+                    20.0 * work.heap_comparisons, candidates=float(work.candidates)
+                )
+                charger.stream(float(work.candidates))
+            cand_rows.append(idx + row_lo + local.band_offsets[t])
+            cand_parents.append(val)
+        trows = np.concatenate(cand_rows) if cand_rows else np.empty(0, np.int64)
+        tvals = (
+            np.concatenate(cand_parents) if cand_parents else np.empty(0, np.int64)
+        )
+        charger.count(edges_scanned=float(f_col.size))
+
+        # 4. Fold: scatter candidates to vector-piece owners along the row.
+        owners = decomp.vec_owner_col(grid.row, trows)
+        send = build_send_buffers(trows, tvals, owners, decomp.pc)
+        charger.intops(float(trows.size))
+        charger.count(unique_sends=float(trows.size))
+        recv, _counts = grid.row_comm.alltoallv_concat(send)
+
+        # 5. Mask with pi-bar and update (Algorithm 3 lines 9-11).
+        rv, rp = unpack_pairs(recv)
+        charger.random(float(rv.size), ws_words=float(max(nloc, 1)))
+        unvisited = parents[rv - plo] == -1
+        rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+        parents[rv - plo] = rp
+        levels[rv - plo] = level
+        frontier = rv
+        if threads > 1:
+            charger.thread_merge(float(frontier.size))
+
+        charger.level_overhead()
+        if trace:
+            level_trace.append(
+                {
+                    "level": level,
+                    "frontier": frontier_in,
+                    "candidates": int(trows.size),
+                    "words_sent": int(2 * trows.size + f_col.size),
+                    "discovered": int(frontier.size),
+                }
+            )
+        total = comm.allreduce(int(frontier.size))
+        level += 1
+
+    result = {
+        "plo": plo,
+        "phi": phi,
+        "levels": levels,
+        "parents": parents,
+        "nlevels": level - 1,
+    }
+    if trace:
+        result["trace"] = level_trace
+    return result

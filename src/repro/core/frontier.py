@@ -1,0 +1,121 @@
+"""Frontier manipulation primitives shared by the BFS variants.
+
+These are the vectorized counterparts of the per-edge loops in
+Algorithms 1-3: candidate deduplication with deterministic (select, max)
+parent resolution, interleaved (vertex, parent) wire format for the
+exchange buffers, and destination bucketing for the all-to-all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dedup_candidates(
+    targets: np.ndarray, parents: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate targets, keeping the maximum parent.
+
+    The (select, max) rule makes every algorithm in the repo produce the
+    same parent array for the same graph, which the integration tests
+    exploit.  Output targets are sorted ascending.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    if targets.size == 0:
+        return targets, parents
+    span = np.int64(parents.max()) + 1
+    if 0 <= parents.min() and targets.max() < (1 << 62) // max(span, 1):
+        # Composite-key quicksort (targets major, parents minor) is far
+        # faster than lexsort; the max parent of each target is the last
+        # entry of its run.
+        key = targets * span + parents
+        key.sort()
+        last = np.empty(key.size, dtype=bool)
+        last[-1] = True
+        out_targets = key // span
+        np.not_equal(out_targets[1:], out_targets[:-1], out=last[:-1])
+        key = key[last]
+        out_targets = out_targets[last]
+        return out_targets, key - out_targets * span
+    order = np.lexsort((parents, targets))
+    targets, parents = targets[order], parents[order]
+    last = np.empty(targets.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(targets[1:], targets[:-1], out=last[:-1])
+    return targets[last], parents[last]
+
+
+def pack_pairs(vertices: np.ndarray, parents: np.ndarray) -> np.ndarray:
+    """Interleave (vertex, parent) pairs into one wire buffer.
+
+    A single buffer per destination keeps the all-to-all call count at one
+    per level (the 1D algorithm's only collective), and the layout
+    ``[v0, p0, v1, p1, ...]`` keeps each pair contiguous.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    if vertices.shape != parents.shape:
+        raise ValueError("vertices/parents must be equal length")
+    out = np.empty(2 * vertices.size, dtype=np.int64)
+    out[0::2] = vertices
+    out[1::2] = parents
+    return out
+
+
+def unpack_pairs(buf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_pairs`."""
+    buf = np.asarray(buf, dtype=np.int64)
+    if buf.size % 2:
+        raise ValueError(f"pair buffer has odd length {buf.size}")
+    return buf[0::2], buf[1::2]
+
+
+def build_send_buffers(
+    targets: np.ndarray,
+    parents: np.ndarray,
+    owners: np.ndarray,
+    nbuckets: int,
+) -> list[np.ndarray]:
+    """Bucket (target, parent) candidates by owner into wire buffers.
+
+    The shared send-side path of every 1D-family algorithm: stable-sort by
+    destination, split at bucket boundaries, interleave each bucket with
+    :func:`pack_pairs`.  Returns one buffer per destination rank.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    order = np.argsort(owners, kind="stable")
+    targets = np.asarray(targets, dtype=np.int64)[order]
+    parents = np.asarray(parents, dtype=np.int64)[order]
+    counts = np.bincount(owners, minlength=nbuckets)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return [
+        pack_pairs(
+            targets[offsets[j] : offsets[j + 1]],
+            parents[offsets[j] : offsets[j + 1]],
+        )
+        for j in range(nbuckets)
+    ]
+
+
+def bucket_by_owner(
+    owners: np.ndarray, nbuckets: int, *arrays: np.ndarray
+) -> tuple[list[tuple[np.ndarray, ...]], np.ndarray]:
+    """Group parallel arrays by destination rank.
+
+    Returns one tuple of sub-arrays per bucket (in bucket order) plus the
+    per-bucket counts.  Uses a stable counting-sort-style argsort, the
+    vectorized version of Algorithm 2's per-thread ``tBuf`` packing.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    if owners.size and (owners.min() < 0 or owners.max() >= nbuckets):
+        raise ValueError(f"owners out of range [0, {nbuckets})")
+    order = np.argsort(owners, kind="stable")
+    counts = np.bincount(owners, minlength=nbuckets).astype(np.int64)
+    splits = np.cumsum(counts)[:-1]
+    grouped = []
+    for bucket_parts in zip(
+        *(np.split(np.asarray(a)[order], splits) for a in arrays)
+    ):
+        grouped.append(tuple(bucket_parts))
+    return grouped, counts

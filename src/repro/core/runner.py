@@ -1,0 +1,305 @@
+"""High-level BFS driver: partition, simulate, reassemble, report.
+
+:func:`run_bfs` is the public entry point tying the substrates together:
+it resolves the algorithm (serial / 1D / 2D / hybrids / baselines),
+launches the SPMD simulation with the requested machine cost model,
+stitches the per-rank outputs back into full ``levels``/``parents`` arrays
+in the caller's vertex labels, and wraps everything in a
+:class:`BFSResult` with TEPS accounting and the modeled time breakdown.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bfs1d import bfs_1d
+from repro.core.bfs2d import bfs_2d, build_2d_blocks
+from repro.core.partition import Decomp2D
+from repro.core.serial import bfs_serial
+from repro.core.validate import count_traversed_edges, validate_bfs
+from repro.graphs.graph import Graph
+from repro.model.costmodel import NetworkCostModel
+from repro.model.machine import HOPPER, get_machine
+from repro.mpsim.engine import run_spmd
+from repro.mpsim.stats import SimStats
+
+#: Algorithm registry: name -> (family, hybrid?).
+ALGORITHMS: dict[str, tuple[str, bool]] = {
+    "serial": ("serial", False),
+    "1d": ("1d", False),
+    "1d-hybrid": ("1d", True),
+    "2d": ("2d", False),
+    "2d-hybrid": ("2d", True),
+    "pbgl": ("pbgl", False),
+    "graph500-ref": ("graph500-ref", False),
+}
+
+
+@dataclass
+class BFSResult:
+    """Output of one BFS traversal plus its simulation record."""
+
+    levels: np.ndarray
+    parents: np.ndarray
+    source: int
+    algorithm: str
+    nranks: int
+    threads: int
+    nlevels: int
+    m_traversed: int
+    stats: SimStats | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def modeled_cores(self) -> int:
+        return self.nranks * self.threads
+
+    @property
+    def time_total(self) -> float:
+        """Modeled traversal seconds (0 when untimed)."""
+        return self.stats.makespan if self.stats is not None else 0.0
+
+    @property
+    def time_comm(self) -> float:
+        """Modeled seconds the slowest rank spent in MPI (incl. waits)."""
+        return self.stats.max_mpi_time if self.stats is not None else 0.0
+
+    @property
+    def time_comp(self) -> float:
+        return self.stats.max_compute_time if self.stats is not None else 0.0
+
+    def gteps(self) -> float:
+        """Traversed-edges-per-second rate in billions."""
+        if self.time_total <= 0:
+            raise ValueError("untimed run: pass a machine to run_bfs for TEPS")
+        return self.m_traversed / self.time_total / 1e9
+
+    def mteps(self) -> float:
+        return self.gteps() * 1e3
+
+
+def _resolve_threads(algorithm: str, threads: int | None, machine) -> int:
+    """Hybrid defaults follow the paper: 4-way on Franklin, 6-way on Hopper."""
+    _family, hybrid = ALGORITHMS[algorithm]
+    if threads is not None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if not hybrid and threads != 1:
+            raise ValueError(f"{algorithm} is a flat variant; use a hybrid for threads > 1")
+        return threads
+    if not hybrid:
+        return 1
+    return 6 if machine is not None and machine is HOPPER else 4
+
+
+def run_bfs(
+    graph: Graph,
+    source: int,
+    algorithm: str = "1d",
+    nprocs: int = 4,
+    threads: int | None = None,
+    machine=None,
+    kernel: str = "auto",
+    dedup_sends: bool = True,
+    vector_dist: str = "2d",
+    modeled_cores: int | None = None,
+    grid_shape: tuple[int, int] | None = None,
+    validate: bool = False,
+    trace: bool = False,
+) -> BFSResult:
+    """Run one BFS traversal of ``graph`` from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        A preprocessed :class:`~repro.graphs.graph.Graph`.
+    source:
+        Vertex id in the caller's (original) labeling.
+    algorithm:
+        One of :data:`ALGORITHMS`: ``"serial"``, ``"1d"``, ``"1d-hybrid"``,
+        ``"2d"``, ``"2d-hybrid"``, ``"pbgl"``, ``"graph500-ref"``.
+    nprocs:
+        Simulated MPI rank count.  2D variants use the closest square
+        grid not exceeding ``nprocs`` (the paper's convention).
+    threads:
+        Intra-node threads modeled per rank (hybrids only); defaults to
+        the paper's 4 (Franklin) or 6 (Hopper).
+    machine:
+        ``None`` (functional, untimed), a machine short name
+        (``"franklin"``/``"hopper"``/``"carver"``), or a
+        :class:`~repro.model.machine.MachineConfig`.
+    kernel:
+        SpMSV kernel for 2D: ``"auto"`` (polyalgorithm), ``"spa"``,
+        ``"heap"``.
+    dedup_sends:
+        1D send-side deduplication (ablation switch).
+    vector_dist:
+        2D vector distribution: ``"2d"`` (default) or ``"1d"``
+        (diagonal-only; the Figure 4 ablation).
+    modeled_cores:
+        Overrides the core count fed to the polyalgorithm predicate.
+    grid_shape:
+        Explicit ``(pr, pc)`` processor grid for the 2D variants,
+        overriding the closest-square default — the paper's general
+        rectangular formulation (square grids keep the cheaper pairwise
+        vector transpose).
+    validate:
+        Run serial reference + Graph 500 validation on the output.
+    trace:
+        Record an aggregated per-level profile (frontier size, candidate
+        count, words sent, vertices discovered, summed over ranks) in
+        ``result.meta["level_profile"]``.  Supported by the 1d/2d
+        families; serial runs and baselines leave the profile ``None``.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
+    if not 0 <= source < graph.n:
+        raise ValueError(f"source {source} out of range [0, {graph.n})")
+    machine = get_machine(machine)
+    threads = _resolve_threads(algorithm, threads, machine)
+    family, _hybrid = ALGORITHMS[algorithm]
+    src_internal = int(np.asarray(graph.to_internal(source)))
+
+    if family == "serial":
+        levels_int, parents_int = bfs_serial(graph.csr, src_internal)
+        nlevels = int(levels_int.max()) if levels_int.max() >= 0 else 0
+        stats = None
+        nranks = 1
+    else:
+        cost_model = (
+            NetworkCostModel(machine, threads=threads, total_ranks=nprocs)
+            if machine is not None
+            else None
+        )
+        if family in ("1d", "pbgl", "graph500-ref"):
+            nranks = nprocs
+            if family == "1d":
+                spmd = run_spmd(
+                    nranks,
+                    bfs_1d,
+                    graph.csr,
+                    src_internal,
+                    machine=machine,
+                    threads=threads,
+                    dedup_sends=dedup_sends,
+                    trace=trace,
+                    cost_model=cost_model,
+                )
+            elif family == "pbgl":
+                from repro.baselines.pbgl_like import bfs_pbgl_like
+
+                spmd = run_spmd(
+                    nranks,
+                    bfs_pbgl_like,
+                    graph.csr,
+                    src_internal,
+                    machine=machine,
+                    cost_model=cost_model,
+                )
+            else:
+                from repro.baselines.graph500_ref import bfs_graph500_ref
+
+                spmd = run_spmd(
+                    nranks,
+                    bfs_graph500_ref,
+                    graph.csr,
+                    src_internal,
+                    machine=machine,
+                    cost_model=cost_model,
+                )
+            levels_int = np.empty(graph.n, dtype=np.int64)
+            parents_int = np.empty(graph.n, dtype=np.int64)
+            for rank_out in spmd.returns:
+                levels_int[rank_out["lo"] : rank_out["hi"]] = rank_out["levels"]
+                parents_int[rank_out["lo"] : rank_out["hi"]] = rank_out["parents"]
+            nlevels = max(r["nlevels"] for r in spmd.returns)
+            stats = spmd.stats
+        else:  # 2d family
+            if grid_shape is not None:
+                pr, pc = grid_shape
+            else:
+                pr = pc = math.isqrt(nprocs)
+            if pr < 1 or pc < 1:
+                raise ValueError(f"grid must be positive, got {pr}x{pc}")
+            nranks = pr * pc
+            decomp = Decomp2D(
+                graph.n, pr, pc, diagonal_vectors=(vector_dist == "1d")
+            )
+            blocks = build_2d_blocks(graph.csr, decomp, threads=threads)
+            if cost_model is not None:
+                cost_model = NetworkCostModel(
+                    machine, threads=threads, total_ranks=nranks
+                )
+            spmd = run_spmd(
+                nranks,
+                bfs_2d,
+                blocks,
+                decomp,
+                src_internal,
+                machine=machine,
+                threads=threads,
+                kernel=kernel,
+                modeled_cores=modeled_cores,
+                trace=trace,
+                cost_model=cost_model,
+            )
+            levels_int = np.empty(graph.n, dtype=np.int64)
+            parents_int = np.empty(graph.n, dtype=np.int64)
+            for rank_out in spmd.returns:
+                levels_int[rank_out["plo"] : rank_out["phi"]] = rank_out["levels"]
+                parents_int[rank_out["plo"] : rank_out["phi"]] = rank_out["parents"]
+            nlevels = max(r["nlevels"] for r in spmd.returns)
+            stats = spmd.stats
+
+    if validate:
+        ref_levels, _ref_parents = bfs_serial(graph.csr, src_internal)
+        validate_bfs(
+            graph.csr,
+            src_internal,
+            levels_int,
+            parents_int,
+            reference_levels=ref_levels,
+            undirected=not graph.directed,
+        )
+
+    level_profile = None
+    if trace and family not in ("serial", "pbgl", "graph500-ref"):
+        level_profile = _merge_traces([r["trace"] for r in spmd.returns])
+
+    m_traversed = count_traversed_edges(graph.csr, levels_int, graph.m_input)
+    return BFSResult(
+        levels=graph.relabel_level_array(levels_int),
+        parents=graph.relabel_vertex_array(parents_int),
+        source=source,
+        algorithm=algorithm,
+        nranks=nranks,
+        threads=threads,
+        nlevels=nlevels,
+        m_traversed=m_traversed,
+        stats=stats,
+        meta={
+            "graph": graph.name,
+            "kernel": kernel,
+            "dedup_sends": dedup_sends,
+            "vector_dist": vector_dist,
+            "level_profile": level_profile,
+        },
+    )
+
+
+def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
+    """Sum per-level counters across ranks (levels are lockstep)."""
+    nlevels = max(len(t) for t in rank_traces)
+    merged: list[dict] = []
+    for i in range(nlevels):
+        entry = {"level": i + 1, "frontier": 0, "candidates": 0,
+                 "words_sent": 0, "discovered": 0}
+        for t in rank_traces:
+            if i < len(t):
+                for key in ("frontier", "candidates", "words_sent", "discovered"):
+                    entry[key] += t[i][key]
+        merged.append(entry)
+    return merged

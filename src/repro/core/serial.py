@@ -1,0 +1,74 @@
+"""Serial BFS (Algorithm 1) — baseline and correctness oracle.
+
+Two implementations:
+
+* :func:`bfs_serial` — the vectorized level-synchronous algorithm with the
+  two-stack (FS/NS) structure of Algorithm 1; this is the performance
+  baseline and produces the same deterministic (select, max) parents as
+  the distributed variants;
+* :func:`bfs_queue` — the classic CLRS FIFO queue formulation, kept
+  deliberately naive as an independent oracle for property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.frontier import dedup_candidates
+from repro.graphs.csr import CSR
+
+
+def bfs_serial(csr: CSR, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Level-synchronous serial BFS.
+
+    Returns
+    -------
+    (levels, parents):
+        ``levels[v]`` is the hop distance from ``source`` (-1 when
+        unreachable); ``parents[v]`` is the BFS-tree predecessor, with
+        ``parents[source] == source`` (Graph 500 convention) and -1 for
+        unreachable vertices.
+    """
+    if not 0 <= source < csr.n:
+        raise ValueError(f"source {source} out of range [0, {csr.n})")
+    levels = np.full(csr.n, -1, dtype=np.int64)
+    parents = np.full(csr.n, -1, dtype=np.int64)
+    levels[source] = 0
+    parents[source] = source
+    frontier = np.array([source], dtype=np.int64)
+    level = 1
+    while frontier.size:
+        targets, sources = csr.gather(frontier)
+        unvisited = levels[targets] < 0
+        targets, sources = dedup_candidates(targets[unvisited], sources[unvisited])
+        levels[targets] = level
+        parents[targets] = sources
+        frontier = targets
+        level += 1
+    return levels, parents
+
+
+def bfs_queue(csr: CSR, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Textbook FIFO-queue BFS; O(n + m) with Python-level loops.
+
+    Slow (only for small oracles in tests) but structurally independent of
+    the vectorized implementations.
+    """
+    if not 0 <= source < csr.n:
+        raise ValueError(f"source {source} out of range [0, {csr.n})")
+    levels = [-1] * csr.n
+    parents = [-1] * csr.n
+    levels[source] = 0
+    parents[source] = source
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        for v in csr.neighbors(u):
+            v = int(v)
+            if levels[v] < 0:
+                levels[v] = levels[u] + 1
+                parents[v] = u
+                queue.append(v)
+    return np.array(levels, dtype=np.int64), np.array(parents, dtype=np.int64)

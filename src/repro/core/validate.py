@@ -1,0 +1,151 @@
+"""Graph 500-style BFS output validation (specification section 4 of the
+benchmark, which the paper's experiments follow).
+
+Checks performed by :func:`validate_bfs`:
+
+1. the source is its own parent at level 0;
+2. reachability is consistent: a vertex has a level iff it has a parent;
+3. every tree edge ``(parent[v], v)`` exists in the graph and spans
+   exactly one level;
+4. every graph edge connects vertices whose levels differ by at most one
+   (and an edge never connects a reachable to an unreachable vertex in an
+   undirected graph);
+5. levels agree with true shortest-path distances when an oracle is
+   supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSR
+
+
+class ValidationError(AssertionError):
+    """A BFS output violated the Graph 500 validation rules."""
+
+
+def validate_bfs(
+    csr: CSR,
+    source: int,
+    levels: np.ndarray,
+    parents: np.ndarray,
+    reference_levels: np.ndarray | None = None,
+    undirected: bool = True,
+) -> None:
+    """Raise :class:`ValidationError` on any specification violation."""
+    n = csr.n
+    levels = np.asarray(levels)
+    parents = np.asarray(parents)
+    if levels.shape != (n,) or parents.shape != (n,):
+        raise ValidationError(
+            f"output arrays must have length {n}, got {levels.shape}/{parents.shape}"
+        )
+
+    # Rule 1: the source.
+    if levels[source] != 0:
+        raise ValidationError(f"source level is {levels[source]}, expected 0")
+    if parents[source] != source:
+        raise ValidationError(
+            f"parents[source] = {parents[source]}, expected {source}"
+        )
+
+    # Rule 2: levels and parents agree on reachability.
+    reached = levels >= 0
+    if not np.array_equal(reached, parents >= 0):
+        bad = int(np.flatnonzero(reached != (parents >= 0))[0])
+        raise ValidationError(
+            f"vertex {bad}: level {levels[bad]} vs parent {parents[bad]} disagree"
+        )
+
+    # Rule 3: tree edges exist and span exactly one level.
+    tree_vertices = np.flatnonzero(reached & (np.arange(n) != source))
+    if tree_vertices.size:
+        tree_parents = parents[tree_vertices]
+        if np.any(levels[tree_parents] + 1 != levels[tree_vertices]):
+            bad = int(
+                tree_vertices[
+                    np.flatnonzero(levels[tree_parents] + 1 != levels[tree_vertices])[0]
+                ]
+            )
+            raise ValidationError(
+                f"vertex {bad} at level {levels[bad]} has parent "
+                f"{parents[bad]} at level {levels[parents[bad]]}"
+            )
+        # Edge existence, vectorized: CSR stores adjacencies sorted by
+        # (row, column), so the flat indices array under the composite key
+        # row * n + column is globally sorted and one searchsorted answers
+        # every membership query at once.  The composite key needs
+        # n^2 <= 2^63; beyond ~3e9 vertices (far past anything this
+        # simulator materializes) it would overflow.
+        if n > (1 << 31):
+            raise ValidationError(
+                f"validate_bfs supports up to 2^31 vertices, got {n}"
+            )
+        edge_keys = (
+            np.repeat(np.arange(n, dtype=np.int64), csr.degrees()) * n + csr.indices
+        )
+        query_keys = tree_parents * n + tree_vertices
+        if edge_keys.size:
+            pos = np.searchsorted(edge_keys, query_keys)
+            found = (pos < edge_keys.size) & (
+                edge_keys[np.minimum(pos, edge_keys.size - 1)] == query_keys
+            )
+        else:
+            found = np.zeros(query_keys.size, dtype=bool)
+        if not found.all():
+            bad = int(tree_vertices[np.flatnonzero(~found)[0]])
+            raise ValidationError(
+                f"tree edge ({parents[bad]}, {bad}) is not a graph edge"
+            )
+
+    # Rule 4: every graph edge spans at most one level.
+    edge_src = np.repeat(np.arange(n, dtype=np.int64), csr.degrees())
+    edge_dst = csr.indices
+    both = reached[edge_src] & reached[edge_dst]
+    if np.any(np.abs(levels[edge_src[both]] - levels[edge_dst[both]]) > 1):
+        k = int(np.flatnonzero(np.abs(levels[edge_src[both]] - levels[edge_dst[both]]) > 1)[0])
+        u, v = int(edge_src[both][k]), int(edge_dst[both][k])
+        raise ValidationError(
+            f"edge ({u}, {v}) spans levels {levels[u]} -> {levels[v]}"
+        )
+    if undirected:
+        mixed = reached[edge_src] != reached[edge_dst]
+        if np.any(mixed):
+            k = int(np.flatnonzero(mixed)[0])
+            raise ValidationError(
+                f"edge ({edge_src[k]}, {edge_dst[k]}) connects reachable "
+                "and unreachable vertices"
+            )
+
+    # Rule 5: exact distances, when an oracle is available.
+    if reference_levels is not None:
+        if not np.array_equal(levels, np.asarray(reference_levels)):
+            bad = int(np.flatnonzero(levels != reference_levels)[0])
+            raise ValidationError(
+                f"vertex {bad}: level {levels[bad]} != reference "
+                f"{reference_levels[bad]}"
+            )
+
+
+def count_traversed_edges(csr: CSR, levels: np.ndarray, m_input: int | None = None) -> int:
+    """Edges counted by the TEPS metric.
+
+    Graph 500 (and Section 6): the number of *input* edges whose both
+    endpoints lie in the traversed component; each input edge counts once
+    even though the symmetric representation visits it twice.  When the
+    original input multiplicity is unknown, the stored undirected edge
+    count within the component is used.
+    """
+    reached = np.asarray(levels) >= 0
+    edge_src = np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees())
+    within = reached[edge_src] & reached[csr.indices]
+    stored = int(within.sum()) // 2  # each undirected edge stored twice
+    if m_input is None:
+        return stored
+    # Scale by the input-to-stored ratio so duplicate input edges count as
+    # the benchmark prescribes.
+    total_stored = csr.nnz // 2
+    if total_stored == 0:
+        return 0
+    return int(round(m_input * stored / total_stored))

@@ -1,0 +1,147 @@
+"""Compressed sparse row construction (Section 4.1).
+
+The paper stores all adjacencies of a vertex sorted and contiguous, with
+an ``n + 1``-entry offset array and 64-bit vertex identifiers; undirected
+graphs store each edge twice.  :func:`build_csr` reproduces exactly that
+representation from raw edge arrays, entirely with vectorized NumPy
+(composite-key sort + neighbour-compare dedup + bincount) — no
+Python-level loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSR:
+    """Immutable CSR adjacency structure with 64-bit ids.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    indptr:
+        ``int64`` array of length ``n + 1``; adjacencies of vertex ``v``
+        live in ``indices[indptr[v]:indptr[v+1]]`` and are sorted.
+    indices:
+        Concatenated adjacency array.
+    """
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self):
+        if self.indptr.shape != (self.n + 1,):
+            raise ValueError(
+                f"indptr length {self.indptr.size} != n+1 = {self.n + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr does not span indices")
+
+    @property
+    def nnz(self) -> int:
+        """Stored adjacency count (2x the edge count for undirected)."""
+        return int(self.indices.size)
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted adjacency view (not a copy) of vertex ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search in ``u``'s sorted adjacency."""
+        adj = self.neighbors(u)
+        pos = np.searchsorted(adj, v)
+        return bool(pos < adj.size and adj[pos] == v)
+
+    def gather(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate the adjacencies of ``vertices``.
+
+        Returns ``(targets, sources)`` where ``sources[k]`` is the vertex
+        whose adjacency produced ``targets[k]`` — the frontier-expansion
+        primitive of every level-synchronous BFS here.  Vectorized with the
+        repeat/cumsum range-gather idiom.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        # offsets[k] enumerates, for each gathered slot, its position in the
+        # source vertex's adjacency list.
+        ends = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+        flat = np.repeat(starts, counts) + offsets
+        targets = self.indices[flat]
+        sources = np.repeat(vertices, counts)
+        return targets, sources
+
+
+def build_csr(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    symmetrize: bool = True,
+    dedup: bool = True,
+    drop_self_loops: bool = True,
+) -> CSR:
+    """Build sorted CSR from raw edge arrays.
+
+    Parameters
+    ----------
+    n:
+        Vertex-id space size; all ids must lie in ``[0, n)``.
+    symmetrize:
+        Store both directions of every edge (the paper's undirected mode).
+    dedup:
+        Collapse parallel edges.
+    drop_self_loops:
+        Remove ``v -> v`` edges (Graph 500 validation ignores them).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError(f"edge arrays must be equal-length 1-D, got {src.shape} vs {dst.shape}")
+    if src.size and (
+        src.min() < 0 or dst.min() < 0 or src.max() >= n or dst.max() >= n
+    ):
+        raise ValueError(f"edge endpoints out of range [0, {n})")
+    if drop_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    if symmetrize:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    if src.size and n <= (1 << 31):
+        # Composite-key sort: one quicksort of src * n + dst is ~20x
+        # faster than the two stable passes of lexsort, and dedup becomes
+        # a single neighbour comparison on the sorted keys.
+        key = src * np.int64(n) + dst
+        key.sort()
+        if dedup:
+            keep = np.empty(key.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(key[1:], key[:-1], out=keep[1:])
+            key = key[keep]
+        src = key // n
+        dst = key - src * n
+    else:
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if dedup and src.size:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(src[1:], src[:-1], out=keep[1:])
+            keep[1:] |= dst[1:] != dst[:-1]
+            src, dst = src[keep], dst[keep]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return CSR(n=n, indptr=indptr, indices=dst)

@@ -1,0 +1,211 @@
+"""Graph container: CSR storage plus benchmark metadata.
+
+A :class:`Graph` owns the traversal-ready CSR (symmetrized, deduplicated,
+sorted, optionally randomly relabeled per Section 4.4) together with the
+bookkeeping the Graph 500 methodology needs: the original directed edge
+count for TEPS normalization and the relabeling permutation so results can
+be reported in the caller's vertex ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.csr import CSR, build_csr
+from repro.graphs.permutation import (
+    apply_permutation,
+    invert_permutation,
+    random_permutation,
+)
+
+
+@dataclass(frozen=True)
+class Graph:
+    """Traversal-ready graph.
+
+    Attributes
+    ----------
+    csr:
+        Adjacency structure in *internal* (possibly relabeled) ids.
+    m_input:
+        Edge count of the original directed input list — the TEPS
+        denominator ("we only count the number of edges in the original
+        directed graph", Section 6).
+    perm:
+        Relabeling applied at construction (``internal = perm[original]``),
+        or ``None`` when vertices were not shuffled.
+    name:
+        Workload label used in reports.
+    """
+
+    csr: CSR
+    m_input: int
+    perm: np.ndarray | None = None
+    name: str = "graph"
+    directed: bool = False
+    meta: dict = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        symmetrize: bool = True,
+        shuffle: bool = True,
+        seed: int | None = 0,
+        name: str = "graph",
+        drop_self_loops: bool = True,
+    ) -> "Graph":
+        """Build from raw edges, applying the paper's preprocessing."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        m_input = int(src.size)
+        perm = None
+        if shuffle:
+            perm = random_permutation(n, seed)
+            src, dst = apply_permutation(perm, src, dst)
+        csr = build_csr(
+            n, src, dst, symmetrize=symmetrize, drop_self_loops=drop_self_loops
+        )
+        return cls(
+            csr=csr,
+            m_input=m_input,
+            perm=perm,
+            name=name,
+            directed=not symmetrize,
+        )
+
+    @classmethod
+    def from_csr(cls, csr: CSR, m_input: int | None = None, name: str = "graph") -> "Graph":
+        """Wrap an existing CSR (no relabeling, assumed preprocessed)."""
+        return cls(csr=csr, m_input=m_input if m_input is not None else csr.nnz // 2, name=name)
+
+    @classmethod
+    def from_scipy(
+        cls,
+        matrix,
+        symmetrize: bool = True,
+        shuffle: bool = True,
+        seed: int | None = 0,
+        name: str = "scipy-graph",
+    ) -> "Graph":
+        """Build from any square ``scipy.sparse`` adjacency matrix.
+
+        Values are ignored (the traversal is boolean).  This is the entry
+        point for real-world datasets: combine with ``scipy.io.mmread``
+        for SuiteSparse / MatrixMarket files (see :meth:`from_mtx`).
+        """
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"adjacency matrices must be square, got {matrix.shape}"
+            )
+        coo = matrix.tocoo()
+        return cls.from_edges(
+            matrix.shape[0],
+            coo.row.astype(np.int64),
+            coo.col.astype(np.int64),
+            symmetrize=symmetrize,
+            shuffle=shuffle,
+            seed=seed,
+            name=name,
+        )
+
+    @classmethod
+    def from_mtx(
+        cls,
+        path,
+        symmetrize: bool = True,
+        shuffle: bool = True,
+        seed: int | None = 0,
+    ) -> "Graph":
+        """Load a MatrixMarket file (the SuiteSparse distribution format).
+
+        This is how the paper's real test instances (uk-union's web
+        releases, KKt_power, Freescale1, Cage14) would be fed in when the
+        files are available.
+        """
+        import pathlib
+
+        import scipy.io
+
+        path = pathlib.Path(path)
+        matrix = scipy.io.mmread(str(path))
+        return cls.from_scipy(
+            matrix,
+            symmetrize=symmetrize,
+            shuffle=shuffle,
+            seed=seed,
+            name=path.stem,
+        )
+
+    # -- basic properties -----------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.csr.n
+
+    @property
+    def nnz(self) -> int:
+        """Stored adjacencies (2x the undirected edge count)."""
+        return self.csr.nnz
+
+    def degrees(self) -> np.ndarray:
+        return self.csr.degrees()
+
+    # -- label translation ----------------------------------------------------
+    def to_internal(self, vertices: np.ndarray | int) -> np.ndarray | int:
+        """Translate original vertex ids to internal (relabeled) ids."""
+        if self.perm is None:
+            return vertices
+        return self.perm[vertices]
+
+    def to_original(self, vertices: np.ndarray | int):
+        """Translate internal ids back to original ids."""
+        if self.perm is None:
+            return vertices
+        inv = invert_permutation(self.perm)
+        return inv[vertices]
+
+    def relabel_vertex_array(self, internal_values: np.ndarray) -> np.ndarray:
+        """Reorder a per-vertex array from internal to original indexing,
+        translating vertex-id *values* (parents) as well.
+
+        ``internal_values[w]`` describes internal vertex ``w``; negative
+        values are sentinels (unreachable) and pass through unchanged.
+        """
+        if self.perm is None:
+            return internal_values
+        inv = invert_permutation(self.perm)
+        out = internal_values[self.perm]
+        ids = out >= 0
+        out = out.copy()
+        out[ids] = inv[out[ids]]
+        return out
+
+    def relabel_level_array(self, internal_levels: np.ndarray) -> np.ndarray:
+        """Reorder a per-vertex scalar array (levels) to original indexing."""
+        if self.perm is None:
+            return internal_levels
+        return internal_levels[self.perm]
+
+    # -- source sampling --------------------------------------------------
+    def random_nonisolated_vertices(
+        self, count: int, seed: int | None = 0
+    ) -> np.ndarray:
+        """Sample distinct *original-id* vertices with degree >= 1.
+
+        The Graph 500 benchmark samples search keys among non-isolated
+        vertices; component filtering (the paper restricts to the large
+        component) happens in the bench harness, which can afford a BFS.
+        """
+        deg = self.degrees()
+        candidates_internal = np.flatnonzero(deg > 0)
+        if candidates_internal.size == 0:
+            raise ValueError("graph has no edges; no valid BFS sources")
+        rng = np.random.default_rng(seed)
+        take = min(count, candidates_internal.size)
+        picked = rng.choice(candidates_internal, size=take, replace=False)
+        return np.asarray(self.to_original(picked), dtype=np.int64)

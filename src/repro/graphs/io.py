@@ -1,0 +1,64 @@
+"""Graph persistence: compressed npz round-trips.
+
+Stores the CSR, permutation, and metadata so expensive generator runs can
+be reused across benchmark invocations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csr import CSR
+from repro.graphs.graph import Graph
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Write a :class:`Graph` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    header = {
+        "version": _FORMAT_VERSION,
+        "n": graph.n,
+        "m_input": graph.m_input,
+        "name": graph.name,
+        "directed": graph.directed,
+        "has_perm": graph.perm is not None,
+    }
+    arrays = {
+        "indptr": graph.csr.indptr,
+        "indices": graph.csr.indices,
+        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    }
+    if graph.perm is not None:
+        arrays["perm"] = graph.perm
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a :class:`Graph` previously written by :func:`save_graph`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph file version {header.get('version')!r}"
+            )
+        csr = CSR(
+            n=int(header["n"]),
+            indptr=data["indptr"],
+            indices=data["indices"],
+        )
+        perm = data["perm"] if header["has_perm"] else None
+    return Graph(
+        csr=csr,
+        m_input=int(header["m_input"]),
+        perm=perm,
+        name=header["name"],
+        directed=bool(header["directed"]),
+    )

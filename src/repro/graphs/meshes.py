@@ -1,0 +1,165 @@
+"""Structured mesh-like graph generators.
+
+The paper's single-node comparison (Section 6) runs on three SuiteSparse
+matrices — ``KKt_power`` (optimal power flow), ``Freescale1`` (circuit
+simulation), ``Cage14`` (DNA electrophoresis) — whose common trait is
+*structure*: near-planar or banded sparsity, moderate degrees, diameters
+far beyond R-MAT's.  The matrices themselves are not redistributable, so
+this module provides generators with the same traits:
+
+* :func:`grid2d_edges` / :func:`grid3d_edges` — k-point lattice stencils
+  (optionally periodic), the canonical near-planar/banded workloads;
+* :func:`power_grid_edges` — a lattice with random long-range ties and
+  degree-1 spurs, mimicking transmission-network topology;
+* :func:`banded_edges` — random matrices with bounded bandwidth (the
+  Cage-style regime).
+
+All are fully vectorized and deterministic by seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def grid2d_edges(
+    rows: int, cols: int, periodic: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edges of a ``rows x cols`` 4-point lattice (vertex id = r*cols+c)."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid dimensions must be >= 1, got {rows}x{cols}")
+    r = np.arange(rows, dtype=np.int64)
+    c = np.arange(cols, dtype=np.int64)
+    rr, cc = np.meshgrid(r, c, indexing="ij")
+    ids = rr * cols + cc
+    src, dst = [], []
+    # Horizontal neighbours.
+    src.append(ids[:, :-1].ravel())
+    dst.append(ids[:, 1:].ravel())
+    # Vertical neighbours.
+    src.append(ids[:-1, :].ravel())
+    dst.append(ids[1:, :].ravel())
+    if periodic:
+        if cols > 2:
+            src.append(ids[:, -1].ravel())
+            dst.append(ids[:, 0].ravel())
+        if rows > 2:
+            src.append(ids[-1, :].ravel())
+            dst.append(ids[0, :].ravel())
+    return np.concatenate(src), np.concatenate(dst)
+
+
+def grid3d_edges(
+    nx: int, ny: int, nz: int, periodic: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edges of an ``nx x ny x nz`` 6-point lattice."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"grid dimensions must be >= 1, got {nx}x{ny}x{nz}")
+    ids = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    src, dst = [], []
+    for axis, extent in enumerate((nx, ny, nz)):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis] = slice(None, -1)
+        hi[axis] = slice(1, None)
+        src.append(ids[tuple(lo)].ravel())
+        dst.append(ids[tuple(hi)].ravel())
+        if periodic and extent > 2:
+            first = [slice(None)] * 3
+            last = [slice(None)] * 3
+            first[axis] = 0
+            last[axis] = extent - 1
+            src.append(ids[tuple(last)].ravel())
+            dst.append(ids[tuple(first)].ravel())
+    return np.concatenate(src), np.concatenate(dst)
+
+
+def power_grid_edges(
+    n: int,
+    tie_fraction: float = 0.05,
+    spur_fraction: float = 0.15,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A transmission-network-like graph (the KKt_power regime).
+
+    A near-square 2D lattice backbone (substations) plus a few random
+    long-range ties (HV interconnects) and degree-1 spur vertices (feeder
+    endpoints) appended after the lattice ids.  Mean degree stays small
+    (~3-4) and the diameter scales like sqrt(n) — nothing like R-MAT.
+    """
+    if n < 4:
+        raise ValueError(f"need n >= 4, got {n}")
+    if not 0 <= tie_fraction < 1 or not 0 <= spur_fraction < 1:
+        raise ValueError("fractions must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+    n_spurs = int(n * spur_fraction)
+    n_grid = n - n_spurs
+    rows = max(2, int(np.sqrt(n_grid)))
+    cols = max(2, n_grid // rows)
+    n_grid = rows * cols
+    src, dst = grid2d_edges(rows, cols)
+    n_ties = int(n_grid * tie_fraction)
+    if n_ties:
+        tie_src = rng.integers(0, n_grid, n_ties, dtype=np.int64)
+        tie_dst = rng.integers(0, n_grid, n_ties, dtype=np.int64)
+        src = np.concatenate([src, tie_src])
+        dst = np.concatenate([dst, tie_dst])
+    # Spurs: one edge each into a random lattice vertex.
+    n_spurs = n - n_grid
+    if n_spurs > 0:
+        spur_ids = n_grid + np.arange(n_spurs, dtype=np.int64)
+        anchors = rng.integers(0, n_grid, n_spurs, dtype=np.int64)
+        src = np.concatenate([src, spur_ids])
+        dst = np.concatenate([dst, anchors])
+    return src, dst
+
+
+def banded_edges(
+    n: int, bandwidth: int, avg_degree: float = 8.0, seed: int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random edges constrained to ``|u - v| <= bandwidth`` (Cage-style)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if bandwidth < 1:
+        raise ValueError(f"bandwidth must be >= 1, got {bandwidth}")
+    rng = np.random.default_rng(seed)
+    m = int(n * avg_degree / 2)
+    src = rng.integers(0, n, m, dtype=np.int64)
+    offset = rng.integers(1, bandwidth + 1, m, dtype=np.int64)
+    sign = rng.choice(np.array([-1, 1], dtype=np.int64), m)
+    dst = np.clip(src + sign * offset, 0, n - 1)
+    # Backbone path keeps the band connected end to end.
+    chain = np.arange(n - 1, dtype=np.int64)
+    return np.concatenate([src, chain]), np.concatenate([dst, chain + 1])
+
+
+def mesh_graph(kind: str, n: int, seed: int | None = 0, shuffle: bool = True):
+    """Build a traversal-ready :class:`~repro.graphs.graph.Graph`.
+
+    ``kind`` selects the single-node comparison stand-in: ``"power"``
+    (KKt_power-like), ``"banded"`` (Cage14-like), ``"grid2d"`` or
+    ``"grid3d"`` (Freescale-like near-planar structure).
+    """
+    from repro.graphs.graph import Graph
+
+    if kind == "power":
+        src, dst = power_grid_edges(n, seed=seed)
+        n_actual = n
+    elif kind == "banded":
+        src, dst = banded_edges(n, bandwidth=max(2, n // 256), seed=seed)
+        n_actual = n
+    elif kind == "grid2d":
+        side = max(2, int(np.sqrt(n)))
+        src, dst = grid2d_edges(side, side)
+        n_actual = side * side
+    elif kind == "grid3d":
+        side = max(2, round(n ** (1 / 3)))
+        src, dst = grid3d_edges(side, side, side)
+        n_actual = side**3
+    else:
+        raise ValueError(
+            f"unknown mesh kind {kind!r}; known: power, banded, grid2d, grid3d"
+        )
+    return Graph.from_edges(
+        n_actual, src, dst, shuffle=shuffle, seed=seed, name=f"mesh-{kind}-{n_actual}"
+    )

@@ -1,0 +1,36 @@
+"""Random vertex relabeling (Section 4.4, "Load-balancing traversal").
+
+The paper — like the Graph 500 benchmark — randomly shuffles all vertex
+identifiers prior to partitioning so every process gets roughly the same
+number of vertices and edges regardless of the degree distribution.  The
+permutation must be remembered so results (parents, levels) can be mapped
+back to the original labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_permutation(n: int, seed: int | None = 0) -> np.ndarray:
+    """A uniformly random permutation of ``[0, n)`` as ``int64``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[perm[i]] = i``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def apply_permutation(
+    perm: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Relabel edge endpoints: vertex ``v`` becomes ``perm[v]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    return perm[np.asarray(src, dtype=np.int64)], perm[np.asarray(dst, dtype=np.int64)]

@@ -1,0 +1,53 @@
+"""Uniform random graph generators.
+
+These provide the *non-skewed* counterpoint to R-MAT: Erdős–Rényi graphs
+(binomial degrees) and near-regular uniform-degree graphs — the regime in
+which Yoo et al.'s BlueGene/L implementation computed its communication
+buffer bounds (Section 2.2).  Useful for testing load-balance behaviour
+with and without skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def erdos_renyi_edges(
+    n: int, avg_degree: float, seed: int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n * avg_degree / 2`` undirected edges uniformly at random.
+
+    This is the G(n, m) model: endpoints drawn independently; self-loops
+    and duplicates are left for CSR construction to clean, mirroring the
+    R-MAT pipeline.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if avg_degree < 0:
+        raise ValueError(f"avg_degree must be >= 0, got {avg_degree}")
+    m = int(round(n * avg_degree / 2))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    return src, dst
+
+
+def uniform_degree_edges(
+    n: int, degree: int, seed: int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Near-``degree``-regular random graph via a permutation construction.
+
+    Every vertex appears exactly ``degree`` times as a source and, in
+    expectation, ``degree`` times as a destination, giving a sharply
+    concentrated degree distribution (no skew).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if degree < 0:
+        raise ValueError(f"degree must be >= 0, got {degree}")
+    rng = np.random.default_rng(seed)
+    src = np.repeat(np.arange(n, dtype=np.int64), degree)
+    dst = np.concatenate(
+        [rng.permutation(n).astype(np.int64) for _ in range(degree)]
+    ) if degree else np.empty(0, dtype=np.int64)
+    return src, dst

@@ -1,0 +1,54 @@
+"""Performance model (Section 5 of the paper).
+
+The paper proposes a linear model with terms ``alpha`` (latency) and
+``beta`` (inverse bandwidth) for both memory references and network
+messages, qualified by working-set size (``alpha_{L,x}``) and by collective
+pattern and participant count (``beta_{N,a2a}(p)``, ``beta_{N,ag}(p)``).
+
+This package provides:
+
+* :mod:`~repro.model.machine` — calibrated machine descriptions for the
+  paper's testbeds (Franklin/XT4, Hopper/XE6, Carver/Nehalem);
+* :mod:`~repro.model.memory` — the cache-hierarchy latency model
+  ``alpha_L(x)`` and streaming cost ``beta_L``;
+* :mod:`~repro.model.network` — ``alpha_N`` and pattern-dependent
+  ``beta_N`` including 3D-torus bisection scaling;
+* :mod:`~repro.model.costmodel` — the live charging layer used by the
+  simulator (compute charger + collective cost model);
+* :mod:`~repro.model.analytic` — the closed-form Section 5.1/5.2 cost
+  expressions used to project to paper-scale core counts;
+* :mod:`~repro.model.projection` — glue that takes volumes measured by a
+  functional simulation and re-times them under a machine model.
+"""
+
+from repro.model.analytic import (
+    AnalyticCosts,
+    cost_1d,
+    cost_2d,
+    gteps,
+)
+from repro.model.costmodel import Charger, NetworkCostModel
+from repro.model.machine import CARVER, FRANKLIN, HOPPER, MachineConfig
+from repro.model.memory import alpha_L, beta_L
+from repro.model.network import beta_a2a, beta_ag, beta_p2p
+from repro.model.projection import RmatVolumeModel, measure_level_profile
+
+__all__ = [
+    "AnalyticCosts",
+    "cost_1d",
+    "cost_2d",
+    "gteps",
+    "Charger",
+    "NetworkCostModel",
+    "MachineConfig",
+    "FRANKLIN",
+    "HOPPER",
+    "CARVER",
+    "alpha_L",
+    "beta_L",
+    "beta_a2a",
+    "beta_ag",
+    "beta_p2p",
+    "RmatVolumeModel",
+    "measure_level_profile",
+]

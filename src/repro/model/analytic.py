@@ -1,0 +1,268 @@
+"""Closed-form cost expressions of Section 5.1 / 5.2.
+
+The paper's per-BFS costs, in our notation (all "per rank, whole
+traversal" unless stated):
+
+1D (Section 5.1)
+    local:    (m/p) beta_L  +  (n/p) alpha_L(n/p)  +  (m/p) alpha_L(n/p)
+    network:  D * p * alpha_N  +  V_a2a * beta_{N,a2a}(p)
+
+2D (Section 5.2), grid pr x pc:
+    local:    (m/p) beta_L  +  (n/p) alpha_L(n/pc)  +  (m/p) alpha_L(n/pr)
+    expand:   D * pr * alpha_N  +  V_ag  * beta_{N,ag}(pr)
+    fold:     D * pc * alpha_N  +  V_fold * beta_{N,a2a}(pc)
+    transpose: D pairwise messages of ~ V_f / D words
+
+The volumes ``V_*`` and work counts are supplied by a
+:class:`WorkloadVolumes` record — produced either from a functional
+simulation (exact) or from :class:`repro.model.projection.RmatVolumeModel`
+(calibrated closed forms) — so this module contains no workload-specific
+magic, just the machine-model arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.model import memory, network
+from repro.model.costmodel import DEFAULT_THREAD_EFFICIENCY, LEVEL_THREAD_OVERHEAD
+from repro.model.machine import MachineConfig, get_machine
+
+
+@dataclass
+class WorkloadVolumes:
+    """Per-rank work and traffic of one BFS traversal.
+
+    Attributes
+    ----------
+    nlevels:
+        Number of level-synchronous iterations ``D``.
+    edges_scanned:
+        Adjacency words streamed by this rank over the run (~``2m/p``
+        for undirected graphs stored both ways).
+    frontier_vertices:
+        Vertices this rank pushes through its frontier (~``n_reach/p``).
+    random_checks:
+        Irregular accesses into the distance/parents structure.
+    random_ws_words:
+        Working-set size (words) those accesses hit: ``n/p`` for 1D,
+        ``n/pr`` for the 2D SPA.
+    candidate_ops:
+        Candidate (row, parent) pairs generated before local merging —
+        drives the SPA/heap cost in 2D and bucketing cost in 1D.
+    a2a_words:
+        Words this rank sends into fold/all-to-all exchanges over the run.
+    ag_words:
+        Words this rank *receives* from expand/allgather phases (2D only).
+    transpose_words:
+        Words this rank exchanges in TransposeVector (2D only).
+    heap_frontier_cols:
+        When the heap SpMSV kernel is modeled, the average number of
+        frontier columns merged per level (the ``log k`` factor); 0 with
+        the SPA kernel.
+    """
+
+    nlevels: int
+    edges_scanned: float
+    frontier_vertices: float
+    random_checks: float
+    random_ws_words: float
+    candidate_ops: float
+    a2a_words: float
+    ag_words: float = 0.0
+    transpose_words: float = 0.0
+    heap_frontier_cols: float = 0.0
+
+
+@dataclass
+class AnalyticCosts:
+    """Modeled time breakdown of one BFS traversal (seconds)."""
+
+    comp: float
+    a2a: float
+    ag: float = 0.0
+    transpose: float = 0.0
+    sync: float = 0.0
+    parts: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def comm(self) -> float:
+        return self.a2a + self.ag + self.transpose + self.sync
+
+    @property
+    def total(self) -> float:
+        return self.comp + self.comm
+
+
+def gteps(m_edges: float, seconds: float) -> float:
+    """Traversed-edges-per-second rate in billions (Graph 500 measure)."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive traversal time: {seconds}")
+    return m_edges / seconds / 1e9
+
+
+def _thread_speedup(threads: int, efficiency: float) -> float:
+    return 1.0 if threads <= 1 else threads * efficiency
+
+
+def _ranks_per_node(machine: MachineConfig, threads: int, ranks: int) -> int:
+    return min(max(1, machine.cores_per_node // threads), max(1, ranks))
+
+
+def cost_1d(
+    vol: WorkloadVolumes,
+    p_cores: int,
+    machine: MachineConfig | str,
+    threads: int = 1,
+    thread_efficiency: float = DEFAULT_THREAD_EFFICIENCY,
+) -> AnalyticCosts:
+    """Section 5.1 cost of the 1D algorithm for one rank's volumes.
+
+    ``p_cores`` is the total core count; with ``threads`` > 1 the rank
+    count is ``p_cores / threads`` (the hybrid variant).
+    """
+    m = get_machine(machine)
+    assert m is not None
+    ranks = max(1, p_cores // threads)
+    rpn = _ranks_per_node(m, threads, ranks)
+    job_nodes = m.nodes_for_cores(p_cores)
+
+    speedup = _thread_speedup(threads, thread_efficiency)
+    comp = (
+        memory.stream_cost(vol.edges_scanned, m)
+        + memory.random_access_cost(vol.frontier_vertices, vol.random_ws_words, m)
+        + memory.random_access_cost(vol.random_checks, vol.random_ws_words, m)
+        + memory.int_op_cost(vol.candidate_ops, m)  # owner computation & packing
+    ) / speedup
+    if threads > 1:
+        # Serial merge of thread-local stacks once per level (Section 4.2)
+        # plus fixed per-level intra-node synchronization.
+        comp += memory.stream_cost(vol.frontier_vertices, m)
+        comp += vol.nlevels * LEVEL_THREAD_OVERHEAD
+
+    per_call, _algo = network.a2a_time(
+        m, ranks, vol.a2a_words / max(1, vol.nlevels), rpn, job_nodes
+    )
+    a2a = vol.nlevels * per_call
+    sync = 2 * vol.nlevels * network.latency_tree(m, ranks)  # allreduce + barrier
+    return AnalyticCosts(
+        comp=comp,
+        a2a=a2a,
+        sync=sync,
+        parts={
+            "stream": memory.stream_cost(vol.edges_scanned, m) / speedup,
+            "random": memory.random_access_cost(
+                vol.frontier_vertices + vol.random_checks, vol.random_ws_words, m
+            )
+            / speedup,
+        },
+    )
+
+
+#: Intra-node threading efficiency of the 2D hybrid: the row-split DCSC
+#: pieces are fully independent (no shared queue, no atomics), so SpMSV
+#: threads scale far better than the 1D hybrid's merge-bound packing
+#: (which uses DEFAULT_THREAD_EFFICIENCY).
+THREAD_EFFICIENCY_2D = 0.75
+
+#: Fraction of the SPA's dense accumulator touched (reset, flag scans,
+#: index sort spill) per BFS level — the kernel's fixed per-level cost
+#: that stops shrinking with the frontier and eventually hands the win to
+#: the heap kernel (Figure 3, Section 4.2).
+SPA_DENSE_TOUCH = 1.2
+
+#: Integer/branch operations charged per heap comparison: the multiway
+#: merge is a *dependent* pointer chase, so each logical compare costs
+#: several core operations even with the paper's cache-efficient heap.
+HEAP_OPS_PER_COMPARE = 20.0
+
+
+def spmsv_merge_cost(
+    vol: WorkloadVolumes, machine: MachineConfig, spmsv_kernel: str
+) -> float:
+    """Modeled local-merge seconds of one traversal's SpMSV calls.
+
+    ``"spa"`` scatters every candidate into the dense ``n/pr`` accumulator
+    (irregular accesses into a large working set) plus the per-level dense
+    touch; ``"heap"`` pays ``candidates * log2(k)`` dependent comparisons
+    but keeps the working set compact.
+    """
+    if spmsv_kernel == "spa":
+        # ~2.5 irregular accesses per candidate: occupied-flag probe,
+        # value scatter-combine, and the index-list append that spills
+        # out of cache (Section 4.2's SPA structure).
+        return memory.random_access_cost(
+            2.5 * vol.candidate_ops, vol.random_ws_words, machine
+        ) + vol.nlevels * memory.stream_cost(
+            SPA_DENSE_TOUCH * vol.random_ws_words, machine
+        )
+    if spmsv_kernel == "heap":
+        k = max(2.0, vol.heap_frontier_cols)
+        return memory.int_op_cost(
+            HEAP_OPS_PER_COMPARE * vol.candidate_ops * math.log2(k), machine
+        ) + memory.stream_cost(vol.candidate_ops, machine)
+    raise ValueError(f"unknown spmsv kernel {spmsv_kernel!r}")
+
+
+def cost_2d(
+    vol: WorkloadVolumes,
+    p_cores: int,
+    machine: MachineConfig | str,
+    threads: int = 1,
+    thread_efficiency: float = THREAD_EFFICIENCY_2D,
+    spmsv_kernel: str = "spa",
+) -> AnalyticCosts:
+    """Section 5.2 cost of the 2D algorithm for one rank's volumes.
+
+    The processor grid is the closest square: ``pr = pc = sqrt(ranks)``.
+    ``spmsv_kernel`` selects how candidate merging is charged: ``"spa"``
+    scatters into a dense ``n/pr`` accumulator (irregular accesses into a
+    large working set), ``"heap"`` pays a ``log k`` comparison factor but
+    keeps the working set compact (Figure 3's trade-off).
+    """
+    m = get_machine(machine)
+    assert m is not None
+    ranks = max(1, p_cores // threads)
+    side = max(1, math.isqrt(ranks))
+    pr = pc = side
+    rpn = _ranks_per_node(m, threads, ranks)
+    job_nodes = m.nodes_for_cores(p_cores)
+
+    speedup = _thread_speedup(threads, thread_efficiency)
+    merge_cost = spmsv_merge_cost(vol, m, spmsv_kernel)
+
+    comp = (
+        memory.stream_cost(vol.edges_scanned, m)
+        + merge_cost
+        + memory.random_access_cost(vol.random_checks, vol.random_ws_words, m)
+    ) / speedup
+    if threads > 1:
+        comp += vol.nlevels * LEVEL_THREAD_OVERHEAD
+
+    # Expand: processor columns are strided across the machine, so the
+    # allgather pays the job-global (softened) bisection factor.  Fold:
+    # processor rows are consecutive ranks on neighboring nodes, so the
+    # row all-to-all is topologically local.
+    ag_call, _ag_algo = network.allgather_time(
+        m, pr, vol.ag_words / max(1, vol.nlevels), rpn, job_nodes
+    )
+    ag = vol.nlevels * ag_call
+    row_nodes = network.effective_a2a_nodes(
+        max(1, (pc * threads) // m.cores_per_node), job_nodes
+    )
+    a2a_call, _a2a_algo = network.a2a_time(
+        m, pc, vol.a2a_words / max(1, vol.nlevels), rpn, row_nodes
+    )
+    a2a = vol.nlevels * a2a_call
+    p2p_beta = network.beta_p2p(m, rpn)
+    transpose = vol.nlevels * m.net_latency + vol.transpose_words * p2p_beta
+    sync = vol.nlevels * network.latency_tree(m, ranks)  # frontier-empty allreduce
+    return AnalyticCosts(
+        comp=comp,
+        a2a=a2a,
+        ag=ag,
+        transpose=transpose,
+        sync=sync,
+        parts={"merge": merge_cost / speedup},
+    )

@@ -1,0 +1,140 @@
+"""Calibration workflow: fit the volume model from functional runs.
+
+The projection pipeline (Figures 5-10) rests on a handful of workload
+constants — the dedup-survival curve, the reachable fraction, the level
+count.  They ship pre-fitted in :class:`~repro.model.projection.
+RmatVolumeModel`, but graphs change and generators evolve; this module
+packages the measure-and-fit loop so the constants can be re-derived (and
+the shipped ones audited) with one call::
+
+    from repro.model.calibration import calibrate_volume_model
+
+    model, report = calibrate_volume_model(scale=14, rank_counts=(4, 16, 64))
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.runner import run_bfs
+from repro.graphs.rmat import rmat_graph
+from repro.model.projection import RmatVolumeModel
+
+
+@dataclass
+class CalibrationReport:
+    """Measured points and fit quality of one calibration run."""
+
+    scale: int
+    edgefactor: float
+    rank_counts: tuple[int, ...]
+    survival_measured: dict[int, float] = field(default_factory=dict)
+    survival_fitted_s1: float = 0.0
+    survival_fitted_gamma: float = 0.0
+    reach_measured: float = 0.0
+    nlevels_measured: int = 0
+    a2a_relative_errors: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def max_a2a_error(self) -> float:
+        return max(self.a2a_relative_errors.values(), default=0.0)
+
+    def summary(self) -> str:
+        lines = [
+            f"calibration @ scale {self.scale}, edgefactor {self.edgefactor:g}",
+            f"  reach fraction        : {self.reach_measured:.3f}",
+            f"  levels                : {self.nlevels_measured}",
+            f"  survival fit          : s1={self.survival_fitted_s1:.4f}, "
+            f"gamma={self.survival_fitted_gamma:.3f}",
+        ]
+        for p in self.rank_counts:
+            lines.append(
+                f"  p={p:>4}: survival {self.survival_measured[p]:.3f}, "
+                f"a2a volume error {100 * self.a2a_relative_errors[p]:+.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def _fit_saturating_survival(
+    parties: np.ndarray, survival: np.ndarray
+) -> tuple[float, float]:
+    """Fit ``s(g) = 1 - exp(-s1 * g^gamma)`` by linearizing the exponent."""
+    if np.any(survival >= 1.0) or np.any(survival <= 0.0):
+        raise ValueError("survival points must lie strictly in (0, 1)")
+    exponent = -np.log(1.0 - survival)  # = s1 * g^gamma
+    gamma, log_s1 = np.polyfit(np.log(parties), np.log(exponent), 1)
+    return float(math.exp(log_s1)), float(gamma)
+
+
+def calibrate_volume_model(
+    scale: int = 14,
+    edgefactor: float = 16,
+    rank_counts: tuple[int, ...] = (4, 16, 64),
+    seed: int = 11,
+    nsources: int = 1,
+) -> tuple[RmatVolumeModel, CalibrationReport]:
+    """Measure an R-MAT instance and fit a fresh :class:`RmatVolumeModel`.
+
+    Runs the 1D algorithm functionally at each rank count, measures the
+    dedup survival and traffic, fits the saturating survival curve, and
+    cross-checks the fitted model's all-to-all volume prediction against
+    the exact measured volumes.
+    """
+    if len(rank_counts) < 2:
+        raise ValueError("need at least two rank counts to fit the curve")
+    graph = rmat_graph(scale, edgefactor, seed=seed)
+    sources = graph.random_nonisolated_vertices(nsources, seed=seed + 1)
+
+    report = CalibrationReport(
+        scale=scale, edgefactor=edgefactor, rank_counts=tuple(rank_counts)
+    )
+    runs: dict[int, list] = {p: [] for p in rank_counts}
+    for p in rank_counts:
+        for source in sources:
+            runs[p].append(run_bfs(graph, int(source), "1d", nprocs=p))
+
+    for p in rank_counts:
+        cand = np.mean([r.stats.counter("candidates") for r in runs[p]])
+        uniq = np.mean([r.stats.counter("unique_sends") for r in runs[p]])
+        report.survival_measured[p] = float(uniq / cand)
+
+    parties = np.array(rank_counts, dtype=float)
+    surv = np.array([report.survival_measured[p] for p in rank_counts])
+    s1, gamma = _fit_saturating_survival(parties, surv)
+    report.survival_fitted_s1 = s1
+    report.survival_fitted_gamma = gamma
+
+    first = runs[rank_counts[0]][0]
+    report.reach_measured = float((first.levels >= 0).mean())
+    report.nlevels_measured = int(first.nlevels)
+
+    model = RmatVolumeModel(dedup_s1=s1, dedup_gamma=gamma)
+    for p in rank_counts:
+        measured = np.mean(
+            [r.stats.words_sent("alltoallv") for r in runs[p]]
+        ) / p
+        predicted = model.volumes_1d(graph.n, graph.m_input, p).a2a_words
+        report.a2a_relative_errors[p] = float(predicted / measured - 1.0)
+    return model, report
+
+
+def audit_shipped_constants(
+    scale: int = 13, rank_counts: tuple[int, ...] = (4, 16, 64), seed: int = 11
+) -> dict[str, float]:
+    """Compare a fresh fit against the constants shipped in the package.
+
+    Returns relative differences; large values mean the shipped defaults
+    have drifted from what the current generator produces.
+    """
+    fitted, _report = calibrate_volume_model(
+        scale=scale, rank_counts=rank_counts, seed=seed
+    )
+    shipped = RmatVolumeModel()
+    return {
+        "s1_rel_diff": fitted.dedup_s1 / shipped.dedup_s1 - 1.0,
+        "gamma_rel_diff": fitted.dedup_gamma / shipped.dedup_gamma - 1.0,
+    }

@@ -1,0 +1,220 @@
+"""Machine descriptions for the paper's testbeds (Section 6).
+
+The constants are derived from the hardware description in the paper and
+public specifications of the systems; they are *calibration inputs* to the
+alpha-beta model, not measurements of this repository's host.  Absolute
+projected times therefore carry the model's error, but the orderings and
+crossovers the paper reports are driven by the ratios encoded here
+(cores-to-bandwidth, integer speed, torus bisection scaling), which come
+straight from Section 6:
+
+* Franklin — Cray XT4: one quad-core 2.3 GHz Opteron "Budapest" per node,
+  SeaStar2 interconnect (6.4 GB/s HyperTransport injection, 7.6 GB/s
+  links, 3D torus), DDR2-800 (12.8 GB/s/node), MPI latency 4.5-8.5 us.
+* Hopper — Cray XE6: two 12-core 2.1 GHz "MagnyCours" per node (four
+  6-core NUMA domains), Gemini interconnect (9.8 GB/s per chip, *shared by
+  two nodes*), bisection bandwidth 1-20% lower than Franklin while core
+  count is 4x — the paper's "cores to bandwidth ratio increases" regime.
+* Carver — IBM iDataPlex: two quad-core Intel Nehalem per node, QDR
+  InfiniBand fat-tree (used only for the PBGL comparison, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+WORD_BYTES = 8  # the paper counts 64-bit memory words
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Alpha-beta parameters of one parallel system.
+
+    All rates are in words (8 bytes) per second, all latencies in seconds.
+
+    Attributes
+    ----------
+    cores_per_node:
+        Cores sharing one network injection point.
+    l1_words, l2_words, l3_words:
+        Cache capacities (per core for L1/L2, per-core *share* for L3)
+        in 8-byte words; thresholds for the ``alpha_L(x)`` ladder.
+    lat_l1 .. lat_dram:
+        *Effective* cost of one irregular access served by each level of
+        the hierarchy.  These are amortized values: BFS's scatters and
+        gathers are independent accesses, so out-of-order cores overlap
+        ~6-10 misses (memory-level parallelism) and the effective per-
+        access cost is well below the raw load-to-use latency.  Dependent
+        pointer-chasing (the heap kernel's compares) is charged separately
+        through ``int_ops_per_sec``.
+    stream_words_per_sec:
+        Per-core sustained streaming rate (the ``1/beta_L`` term); DRAM
+        bandwidth divided by cores, bounded by what one core can issue.
+    int_ops_per_sec:
+        Per-core sustained rate for the integer/branch work of buffer
+        packing, bucketing and sorting.
+    nic_words_per_sec:
+        Per-node network injection bandwidth (``1/beta_N`` before any
+        contention scaling).
+    net_latency:
+        Per-message MPI latency ``alpha_N``.
+    torus_bisection_exponent:
+        ``b`` in the per-node all-to-all bandwidth scaling ``(n0/n)^b``;
+        1/3 for a 3D torus (bisection ~ p^(2/3)), 0 for a full-bisection
+        fat-tree.
+    torus_reference_nodes:
+        Node count ``n0`` at which all-to-all still achieves full
+        injection bandwidth.
+    """
+
+    name: str
+    cores_per_node: int
+    clock_hz: float
+    l1_words: int
+    l2_words: int
+    l3_words: int
+    lat_l1: float
+    lat_l2: float
+    lat_l3: float
+    lat_dram: float
+    stream_words_per_sec: float
+    int_ops_per_sec: float
+    nic_words_per_sec: float
+    net_latency: float
+    torus_bisection_exponent: float
+    torus_reference_nodes: int
+    #: Multiplier on lat_dram for working sets far beyond the TLB reach.
+    #: Budapest's small TLBs punish giant working sets much harder than
+    #: Magny-Cours/Nehalem (which have larger TLBs and 1 GB pages).
+    tlb_penalty: float = 3.0
+
+    def __post_init__(self):
+        if self.cores_per_node < 1:
+            raise ValueError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+        for name in (
+            "clock_hz",
+            "l1_words",
+            "l2_words",
+            "l3_words",
+            "lat_l1",
+            "lat_l2",
+            "lat_l3",
+            "lat_dram",
+            "stream_words_per_sec",
+            "int_ops_per_sec",
+            "nic_words_per_sec",
+            "net_latency",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if not 0.0 <= self.torus_bisection_exponent <= 1.0:
+            raise ValueError(
+                "torus_bisection_exponent must be in [0, 1], got "
+                f"{self.torus_bisection_exponent}"
+            )
+        if self.torus_reference_nodes < 1:
+            raise ValueError(
+                f"torus_reference_nodes must be >= 1, got "
+                f"{self.torus_reference_nodes}"
+            )
+        if self.tlb_penalty < 1.0:
+            raise ValueError(f"tlb_penalty must be >= 1, got {self.tlb_penalty}")
+
+    def with_overrides(self, **kwargs) -> "MachineConfig":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    def nodes_for_cores(self, cores: int) -> int:
+        """Number of nodes hosting ``cores`` cores (ceiling division)."""
+        return max(1, -(-cores // self.cores_per_node))
+
+
+def _gb_per_s_to_words(gb: float) -> float:
+    return gb * 1e9 / WORD_BYTES
+
+
+FRANKLIN = MachineConfig(
+    name="Franklin (Cray XT4)",
+    cores_per_node=4,
+    clock_hz=2.3e9,
+    l1_words=64 * 1024 // WORD_BYTES,
+    l2_words=512 * 1024 // WORD_BYTES,
+    l3_words=2 * 1024 * 1024 // (4 * WORD_BYTES),  # 2 MB L3 shared by 4 cores
+    lat_l1=1.5e-9,
+    lat_l2=3.0e-9,
+    lat_l3=6.0e-9,
+    lat_dram=1.5e-8,
+    # DDR2-800: 12.8 GB/s per node over 4 cores, ~60% sustained.
+    stream_words_per_sec=_gb_per_s_to_words(12.8 * 0.6 / 4),
+    int_ops_per_sec=1.0e9,
+    nic_words_per_sec=_gb_per_s_to_words(6.4 * 0.25),
+    net_latency=6.5e-6,
+    torus_bisection_exponent=0.5,
+    torus_reference_nodes=32,
+    tlb_penalty=5.0,
+)
+
+HOPPER = MachineConfig(
+    name="Hopper (Cray XE6)",
+    cores_per_node=24,
+    clock_hz=2.1e9,
+    l1_words=64 * 1024 // WORD_BYTES,
+    l2_words=512 * 1024 // WORD_BYTES,
+    l3_words=6 * 1024 * 1024 // (6 * WORD_BYTES),  # 6 MB L3 per 6-core die
+    lat_l1=1.2e-9,
+    lat_l2=2.5e-9,
+    lat_l3=5.0e-9,
+    lat_dram=1.1e-8,
+    # DDR3: ~4x Franklin per-node bandwidth over 6x the cores.
+    stream_words_per_sec=_gb_per_s_to_words(51.2 * 0.6 / 24),
+    # MagnyCours is "clearly faster in integer calculations" (Section 6).
+    int_ops_per_sec=1.7e9,
+    # 9.8 GB/s Gemini chip shared by two nodes; Gemini sustains a
+    # larger fraction of peak for MPI traffic than SeaStar2.
+    nic_words_per_sec=_gb_per_s_to_words(9.8 * 0.4 / 2),
+    net_latency=1.5e-6,
+    torus_bisection_exponent=0.5,
+    torus_reference_nodes=32,
+)
+
+CARVER = MachineConfig(
+    name="Carver (IBM iDataPlex, Nehalem)",
+    cores_per_node=8,
+    clock_hz=2.67e9,
+    l1_words=32 * 1024 // WORD_BYTES,
+    l2_words=256 * 1024 // WORD_BYTES,
+    l3_words=8 * 1024 * 1024 // (4 * WORD_BYTES),
+    lat_l1=1.1e-9,
+    lat_l2=2.2e-9,
+    lat_l3=4.5e-9,
+    lat_dram=1.0e-8,
+    stream_words_per_sec=_gb_per_s_to_words(32.0 * 0.6 / 8),
+    int_ops_per_sec=1.8e9,
+    nic_words_per_sec=_gb_per_s_to_words(4.0 * 0.7),
+    net_latency=2.0e-6,
+    torus_bisection_exponent=0.0,  # full-bisection fat tree
+    torus_reference_nodes=1,
+)
+
+#: All predefined machines, by short key.
+MACHINES: dict[str, MachineConfig] = {
+    "franklin": FRANKLIN,
+    "hopper": HOPPER,
+    "carver": CARVER,
+}
+
+
+def get_machine(name: str | MachineConfig | None) -> MachineConfig | None:
+    """Resolve a machine by short name, pass through configs and ``None``."""
+    if name is None or isinstance(name, MachineConfig):
+        return name
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None

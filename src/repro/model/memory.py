@@ -1,0 +1,78 @@
+"""Memory-reference cost model (the ``alpha_L,x`` / ``beta_L`` terms).
+
+Section 5 of the paper qualifies the memory latency term by the size of
+the data structure being accessed: ``alpha_{L,x}`` is the latency of an
+irregular reference into a logically contiguous chunk of ``x`` words.
+We realize that with a cache-hierarchy ladder: an irregular access into a
+working set that fits in L1 costs L1 latency, and so on up to DRAM, with a
+smooth (logarithmic) interpolation between levels so the model has no
+artificial cliffs.
+
+``beta_L`` is the per-word cost of a unit-stride streaming access.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.machine import MachineConfig
+
+
+def beta_L(machine: MachineConfig) -> float:
+    """Seconds per word of streamed (unit-stride) memory traffic."""
+    return 1.0 / machine.stream_words_per_sec
+
+
+def alpha_L(ws_words: float, machine: MachineConfig) -> float:
+    """Latency of one irregular access into a working set of ``ws_words``.
+
+    Piecewise log-linear interpolation through the (capacity, latency)
+    points of the cache hierarchy; constant below L1 capacity and above
+    DRAM-resident sizes.
+    """
+    if ws_words < 0:
+        raise ValueError(f"negative working set: {ws_words}")
+    points = [
+        (float(machine.l1_words), machine.lat_l1),
+        (float(machine.l2_words), machine.lat_l2),
+        (float(machine.l3_words), machine.lat_l3),
+        # Beyond ~32x the L3 share everything misses to DRAM...
+        (float(machine.l3_words) * 32.0, machine.lat_dram),
+        # ... and very large working sets additionally blow the TLB reach,
+        # so the effective per-access cost keeps growing slowly.  This is
+        # what separates 1D's n/p-sized distance array from 2D's
+        # n/sqrt(p)-sized SPA at the same core count (Section 5.2).
+        (float(machine.l3_words) * 2048.0, machine.lat_dram * machine.tlb_penalty),
+    ]
+    ws = float(ws_words)
+    if ws <= points[0][0]:
+        return points[0][1]
+    if ws >= points[-1][0]:
+        return points[-1][1]
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= ws <= x1:
+            # Interpolate latency linearly in log(working set).
+            frac = (math.log(ws) - math.log(x0)) / (math.log(x1) - math.log(x0))
+            return y0 + frac * (y1 - y0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def random_access_cost(count: float, ws_words: float, machine: MachineConfig) -> float:
+    """Cost of ``count`` irregular accesses into a ``ws_words`` structure."""
+    if count < 0:
+        raise ValueError(f"negative access count: {count}")
+    return count * alpha_L(ws_words, machine)
+
+
+def stream_cost(words: float, machine: MachineConfig) -> float:
+    """Cost of streaming ``words`` with unit stride."""
+    if words < 0:
+        raise ValueError(f"negative stream volume: {words}")
+    return words * beta_L(machine)
+
+
+def int_op_cost(ops: float, machine: MachineConfig) -> float:
+    """Cost of ``ops`` integer/branch operations (bucketing, heap moves)."""
+    if ops < 0:
+        raise ValueError(f"negative op count: {ops}")
+    return ops / machine.int_ops_per_sec

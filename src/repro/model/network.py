@@ -1,0 +1,191 @@
+"""Network cost model (the ``alpha_N`` / ``beta_N,pattern(p)`` terms).
+
+Section 5 qualifies the network bandwidth term by communication pattern
+and participant count.  The key physical input (Section 5.1) is that on a
+3D torus the bisection bandwidth scales as ``p^(2/3)``, so the *per-node*
+share of bisection-crossing traffic degrades as the job grows — this is
+what makes collectives over fewer participants (the 2D algorithm's
+sqrt(p)-sized rows/columns, the hybrid's fewer ranks) progressively
+cheaper at scale, the paper's central observation.
+
+Two modeling details worth spelling out:
+
+* **Contention is job-global.**  A row/column collective involves only
+  ``sqrt(p)`` ranks, but *every* row (or column) group runs its collective
+  simultaneously, and with randomly shuffled vertices the traffic crosses
+  the whole machine.  The bisection derating therefore uses the total
+  job's node count; only the latency term scales with the group size.
+* **NIC contention.**  Several MPI ranks driving one NIC lose more than
+  their fair bandwidth share ("saturation of the network interface card
+  when using more cores (hence more outstanding communication requests)
+  per node", Section 6) — the mechanism behind the hybrid variants'
+  communication advantage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.machine import MachineConfig
+
+#: Fractional bandwidth loss per extra rank sharing a NIC.
+NIC_CONTENTION = 0.04
+
+
+def effective_a2a_nodes(group_nodes: int, job_nodes: int) -> int:
+    """Torus span whose bisection an all-to-all among a sub-group crosses.
+
+    A processor row/column of the 2D grid occupies consecutive ranks and
+    therefore a compact region of the torus, but with every group
+    communicating simultaneously part of the traffic still crosses wider
+    links.  The geometric mean of the group span and the job span
+    interpolates between the two extremes (group == job recovers the
+    world collective).
+    """
+    if group_nodes < 1 or job_nodes < 1:
+        raise ValueError("node counts must be >= 1")
+    return max(1, round(math.sqrt(group_nodes * job_nodes)))
+
+
+def per_rank_injection(machine: MachineConfig, ranks_per_node: int) -> float:
+    """Words/s one MPI rank can inject when ``ranks_per_node`` share a NIC."""
+    if ranks_per_node < 1:
+        raise ValueError(f"ranks_per_node must be >= 1, got {ranks_per_node}")
+    contention = 1.0 + NIC_CONTENTION * (ranks_per_node - 1)
+    return machine.nic_words_per_sec / (ranks_per_node * contention)
+
+
+def bisection_factor(machine: MachineConfig, job_nodes: int) -> float:
+    """Contention multiplier <= 1 for traffic crossing the bisection."""
+    if job_nodes < 1:
+        raise ValueError(f"job_nodes must be >= 1, got {job_nodes}")
+    if job_nodes <= machine.torus_reference_nodes:
+        return 1.0
+    return (machine.torus_reference_nodes / job_nodes) ** machine.torus_bisection_exponent
+
+
+def beta_a2a(
+    machine: MachineConfig, parties: int, ranks_per_node: int, job_nodes: int | None = None
+) -> float:
+    """Seconds/word of all-to-all traffic per rank.
+
+    All-to-all is bisection-limited: nearly all traffic crosses the
+    network midplane, so the sustained per-rank rate is the injection
+    share derated by the job-wide bisection factor.
+    """
+    nodes = job_nodes if job_nodes is not None else max(
+        1, parties // max(1, ranks_per_node)
+    )
+    rate = per_rank_injection(machine, ranks_per_node) * bisection_factor(
+        machine, nodes
+    )
+    return 1.0 / rate
+
+
+def beta_ag(
+    machine: MachineConfig, parties: int, ranks_per_node: int, job_nodes: int | None = None
+) -> float:
+    """Seconds/word received in an allgather.
+
+    Ring allgathers only move data between ring *neighbors*, so — unlike
+    all-to-all — their traffic does not cross the torus bisection and the
+    sustained rate is simply the (contended) NIC injection share.
+    ``job_nodes`` is accepted for signature symmetry with
+    :func:`beta_a2a`; the ring pattern makes it irrelevant.
+    """
+    del parties, job_nodes  # pattern is neighbor-local
+    return 1.0 / per_rank_injection(machine, ranks_per_node)
+
+
+def beta_p2p(machine: MachineConfig, ranks_per_node: int) -> float:
+    """Seconds/word of point-to-point (pairwise) traffic per rank."""
+    return 1.0 / per_rank_injection(machine, ranks_per_node)
+
+
+def latency_a2a(machine: MachineConfig, parties: int) -> float:
+    """Latency component of an all-to-all: ``p * alpha_N`` (Section 5.1)."""
+    return parties * machine.net_latency
+
+
+def latency_ag(machine: MachineConfig, parties: int) -> float:
+    """Latency component of an allgather: ``p * alpha_N`` (ring, Sec 5.2)."""
+    return parties * machine.net_latency
+
+
+def latency_tree(machine: MachineConfig, parties: int) -> float:
+    """Latency of a tree-structured collective (bcast/reduce/barrier)."""
+    return math.ceil(math.log2(max(2, parties))) * machine.net_latency
+
+
+# ---------------------------------------------------------------------------
+# Collective algorithm selection (Section 7's "interprocessor collective
+# communication optimization" future-work direction).
+#
+# Real MPI libraries switch collective algorithms by message size: a
+# pairwise-exchange all-to-all moves each byte once but pays p-1 rounds of
+# per-message latency, while Bruck's algorithm finishes in log2(p) rounds
+# at the price of forwarding every word ~log2(p)/2 times.  The functions
+# below expose both (plus ring vs recursive-doubling allgather) and an
+# "auto" mode that — like a tuned MPI — takes the cheaper one.
+# ---------------------------------------------------------------------------
+
+
+def a2a_time(
+    machine: MachineConfig,
+    parties: int,
+    send_words: float,
+    ranks_per_node: int,
+    job_nodes: int | None = None,
+    algorithm: str = "auto",
+) -> tuple[float, str]:
+    """Seconds for one all-to-all where each rank sends ``send_words``.
+
+    Returns ``(seconds, algorithm_used)``; ``algorithm`` is one of
+    ``"pairwise"``, ``"bruck"``, or ``"auto"`` (pick the cheaper).
+    """
+    beta = beta_a2a(machine, parties, ranks_per_node, job_nodes)
+    log_p = math.ceil(math.log2(max(2, parties)))
+    pairwise = parties * machine.net_latency + send_words * beta
+    bruck = log_p * machine.net_latency + send_words * (log_p / 2.0) * beta
+    if algorithm == "pairwise":
+        return pairwise, "pairwise"
+    if algorithm == "bruck":
+        return bruck, "bruck"
+    if algorithm != "auto":
+        raise ValueError(f"unknown all-to-all algorithm {algorithm!r}")
+    return (pairwise, "pairwise") if pairwise <= bruck else (bruck, "bruck")
+
+
+def allgather_time(
+    machine: MachineConfig,
+    parties: int,
+    recv_words: float,
+    ranks_per_node: int,
+    job_nodes: int | None = None,
+    algorithm: str = "auto",
+) -> tuple[float, str]:
+    """Seconds for one allgather where each rank receives ``recv_words``.
+
+    ``"ring"`` pays p-1 latency rounds and moves each word once between
+    neighbors; ``"recursive-doubling"`` finishes in log2(p) rounds but its
+    pairings span the machine, so it pays the (softened) bisection factor.
+    """
+    log_p = math.ceil(math.log2(max(2, parties)))
+    ring = parties * machine.net_latency + recv_words * beta_ag(
+        machine, parties, ranks_per_node, job_nodes
+    )
+    nodes = job_nodes if job_nodes is not None else max(
+        1, parties // max(1, ranks_per_node)
+    )
+    rd_beta = 1.0 / (
+        per_rank_injection(machine, ranks_per_node)
+        * math.sqrt(bisection_factor(machine, nodes))
+    )
+    rdoubling = log_p * machine.net_latency + recv_words * rd_beta
+    if algorithm == "ring":
+        return ring, "ring"
+    if algorithm == "recursive-doubling":
+        return rdoubling, "recursive-doubling"
+    if algorithm != "auto":
+        raise ValueError(f"unknown allgather algorithm {algorithm!r}")
+    return (ring, "ring") if ring <= rdoubling else (rdoubling, "recursive-doubling")

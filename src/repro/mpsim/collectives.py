@@ -1,0 +1,185 @@
+"""Pure (thread-free) implementations of collective semantics.
+
+Each function takes the list of per-rank inputs (index = rank within the
+group) and returns the list of per-rank outputs.  The communicator layer
+handles synchronization and timing; keeping the data movement pure makes
+the semantics directly unit- and property-testable.
+
+Conventions
+-----------
+* Buffers are 1-D NumPy arrays.  ``None`` is accepted wherever an empty
+  buffer is meant and is normalized to an empty ``int64`` array.
+* Word counts equal element counts (the paper counts 64-bit words).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+_REDUCERS: dict[str, Callable] = {
+    "sum": lambda values: _reduce_pairwise(values, np.add),
+    "max": lambda values: _reduce_pairwise(values, np.maximum),
+    "min": lambda values: _reduce_pairwise(values, np.minimum),
+    "prod": lambda values: _reduce_pairwise(values, np.multiply),
+    "lor": lambda values: _reduce_pairwise(values, np.logical_or),
+    "land": lambda values: _reduce_pairwise(values, np.logical_and),
+}
+
+
+def _reduce_pairwise(values: Sequence, op) -> object:
+    result = values[0]
+    for value in values[1:]:
+        result = op(result, value)
+    return result
+
+
+def _as_array(buf) -> np.ndarray:
+    if buf is None:
+        return np.empty(0, dtype=np.int64)
+    arr = np.asarray(buf)
+    if arr.ndim != 1:
+        raise ValueError(f"collective buffers must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def alltoallv(payloads: Sequence[Sequence[np.ndarray | None]]) -> list[list[np.ndarray]]:
+    """All-to-all personalized exchange of variable-size buffers.
+
+    ``payloads[i][j]`` is the buffer rank ``i`` sends to rank ``j``;
+    ``output[j][i]`` is what rank ``j`` receives from rank ``i``.
+    """
+    size = len(payloads)
+    for rank, row in enumerate(payloads):
+        if len(row) != size:
+            raise ValueError(
+                f"rank {rank} passed {len(row)} send buffers for group of {size}"
+            )
+    return [[_as_array(payloads[i][j]) for i in range(size)] for j in range(size)]
+
+
+def allgatherv(payloads: Sequence[np.ndarray | None]) -> list[list[np.ndarray]]:
+    """Each rank contributes one buffer; every rank receives all of them."""
+    pieces = [_as_array(p) for p in payloads]
+    return [list(pieces) for _ in payloads]
+
+
+def allreduce(payloads: Sequence, op: str | Callable) -> list:
+    """Reduce per-rank values with ``op``; every rank gets the result.
+
+    ``op`` is either one of ``{"sum","max","min","prod","lor","land"}`` or a
+    binary callable applied left-to-right.
+    """
+    if callable(op):
+        result = _reduce_pairwise(list(payloads), op)
+    else:
+        try:
+            reducer = _REDUCERS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+        result = reducer(list(payloads))
+    return [result for _ in payloads]
+
+
+def bcast(payloads: Sequence, root: int) -> list:
+    """Broadcast the root's value to every rank."""
+    if not 0 <= root < len(payloads):
+        raise ValueError(f"bcast root {root} out of range for group of {len(payloads)}")
+    value = payloads[root]
+    return [value for _ in payloads]
+
+
+def gather(payloads: Sequence, root: int) -> list:
+    """Gather every rank's value at the root (others receive ``None``)."""
+    if not 0 <= root < len(payloads):
+        raise ValueError(f"gather root {root} out of range for group of {len(payloads)}")
+    collected = list(payloads)
+    return [collected if rank == root else None for rank in range(len(payloads))]
+
+
+def scatter(payloads: Sequence, root: int) -> list:
+    """Scatter the root's sequence: rank ``i`` receives ``payloads[root][i]``."""
+    if not 0 <= root < len(payloads):
+        raise ValueError(f"scatter root {root} out of range for group of {len(payloads)}")
+    items = payloads[root]
+    if items is None or len(items) != len(payloads):
+        raise ValueError(
+            f"scatter root must supply exactly {len(payloads)} items, "
+            f"got {None if items is None else len(items)}"
+        )
+    return list(items)
+
+
+def exchange(payloads: Sequence[tuple[int, np.ndarray | None]]) -> list[np.ndarray]:
+    """Pairwise/permutation exchange: rank ``i`` sends one buffer to ``dest_i``.
+
+    The destination pattern must be a permutation of the group (a rank may
+    send to itself).  Used for the 2D algorithm's ``TransposeVector`` step,
+    which on a square grid is a pairwise swap between P(i,j) and P(j,i).
+    """
+    size = len(payloads)
+    dests = [dest for dest, _ in payloads]
+    if sorted(dests) != list(range(size)):
+        raise ValueError(f"exchange destinations {dests} are not a permutation")
+    outputs: list[np.ndarray | None] = [None] * size
+    for src, (dest, buf) in enumerate(payloads):
+        outputs[dest] = _as_array(buf)
+    return outputs  # type: ignore[return-value]
+
+
+def sent_words(kind: str, payload, self_rank: int | None = None) -> float:
+    """Words a rank puts on the wire for one collective call.
+
+    ``self_rank`` (when given) excludes the buffer a rank delivers to
+    itself in ``alltoallv``/``exchange`` — local delivery never crosses the
+    network, and at small group sizes counting it would bias volumes.
+    """
+    if kind == "alltoallv":
+        return float(
+            sum(
+                _as_array(b).size
+                for j, b in enumerate(payload)
+                if self_rank is None or j != self_rank
+            )
+        )
+    if kind == "allgatherv":
+        return float(_as_array(payload).size)
+    if kind == "exchange":
+        dest, buf = payload
+        if self_rank is not None and dest == self_rank:
+            return 0.0
+        return float(_as_array(buf).size)
+    if kind in ("allreduce", "bcast", "gather", "scatter"):
+        return float(np.asarray(payload).size) if payload is not None else 0.0
+    if kind == "barrier":
+        return 0.0
+    raise ValueError(f"unknown collective kind {kind!r}")
+
+
+def recv_words(kind: str, output, self_rank: int | None = None) -> float:
+    """Words a rank receives from one collective call (see :func:`sent_words`
+    for the ``self_rank`` convention)."""
+    if kind == "alltoallv":
+        return float(
+            sum(
+                _as_array(b).size
+                for i, b in enumerate(output)
+                if self_rank is None or i != self_rank
+            )
+        )
+    if kind == "allgatherv":
+        return float(sum(_as_array(b).size for b in output))
+    if kind == "exchange":
+        return float(_as_array(output).size)
+    if kind in ("allreduce", "bcast"):
+        return float(np.asarray(output).size) if output is not None else 0.0
+    if kind == "gather":
+        if output is None:
+            return 0.0
+        return float(sum(np.asarray(o).size for o in output))
+    if kind == "scatter":
+        return float(np.asarray(output).size) if output is not None else 0.0
+    if kind == "barrier":
+        return 0.0
+    raise ValueError(f"unknown collective kind {kind!r}")

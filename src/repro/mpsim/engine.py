@@ -1,0 +1,232 @@
+"""Thread-based SPMD engine with virtual-time accounting.
+
+:func:`run_spmd` launches one thread per simulated rank and hands each a
+:class:`~repro.mpsim.communicator.Communicator`.  Collectives move real
+buffers; completion times are produced by a pluggable
+:class:`CollectiveCostModel` so the same functional execution can be timed
+as if it ran on Franklin, Hopper, or not timed at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mpsim.clock import RankClock
+from repro.mpsim.stats import RankStats, SimStats
+
+#: Default seconds a rank may wait at a barrier before the run is aborted.
+#: Generous, because functional simulations with hundreds of ranks can make
+#: slow progress under the GIL; a genuine deadlock still surfaces.
+DEFAULT_TIMEOUT = 600.0
+
+
+class SimAborted(RuntimeError):
+    """Raised inside rank threads when the simulation is torn down."""
+
+
+class CollectiveCostModel:
+    """Timing model consulted by the engine at every collective.
+
+    Subclasses override :meth:`cost` (and optionally :meth:`p2p_cost`).
+    The default implementation charges nothing, i.e. collectives act as
+    pure synchronization points in virtual time.
+    """
+
+    def cost(self, kind: str, parties: int, max_send_words: float, max_recv_words: float) -> float:
+        """Seconds from last arrival to completion of one collective call."""
+        return 0.0
+
+    def p2p_cost(self, words: float) -> float:
+        """Seconds for one point-to-point/pairwise-exchange message."""
+        return 0.0
+
+
+class ZeroCostModel(CollectiveCostModel):
+    """Explicit name for the do-not-time model."""
+
+
+class _GroupState:
+    """Shared state of one communicator group (world or split)."""
+
+    __slots__ = ("members", "size", "barrier", "slots", "result")
+
+    def __init__(self, members: Sequence[int]):
+        self.members = list(members)
+        self.size = len(self.members)
+        self.barrier = threading.Barrier(self.size)
+        self.slots: list[Any] = [None] * self.size
+        self.result: Any = None
+
+
+class SimEngine:
+    """Owns clocks, stats, the group registry, and abort machinery."""
+
+    def __init__(
+        self,
+        nranks: int,
+        cost_model: CollectiveCostModel | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        record_peers: bool = False,
+        record_timeline: bool = False,
+    ):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.cost_model = cost_model if cost_model is not None else ZeroCostModel()
+        self.timeout = timeout
+        #: When set, per-destination traffic is recorded in RankStats
+        #: (the rank-to-rank heat-map data of Figure 4-style analyses).
+        self.record_peers = record_peers
+        #: When set, every collective leaves a TimelineEvent on its rank
+        #: (render with repro.mpsim.timeline.render_timeline).
+        self.record_timeline = record_timeline
+        self.clocks = [RankClock() for _ in range(nranks)]
+        self.stats = [RankStats() for _ in range(nranks)]
+        self._lock = threading.Lock()
+        self._groups: list[_GroupState] = []
+        self._aborted = threading.Event()
+        self._errors: list[tuple[int, BaseException]] = []
+        self._mailboxes: dict[tuple[int, int], list] = {}
+        self._mailbox_cv = threading.Condition()
+        self.world = self.register_group(range(nranks))
+
+    def register_group(self, members: Sequence[int]) -> _GroupState:
+        state = _GroupState(members)
+        with self._lock:
+            self._groups.append(state)
+        return state
+
+    def abort(self, rank: int, exc: BaseException) -> None:
+        with self._lock:
+            self._errors.append((rank, exc))
+        self._aborted.set()
+        with self._lock:
+            groups = list(self._groups)
+        for group in groups:
+            group.barrier.abort()
+        with self._mailbox_cv:
+            self._mailbox_cv.notify_all()
+
+    def barrier_wait(self, state: _GroupState) -> int:
+        """Wait on a group barrier, translating breakage into SimAborted.
+
+        A barrier broken *without* a recorded abort means a timeout — some
+        rank never arrived (deadlock or divergent collective sequence);
+        that is an error in its own right and must not pass silently.
+        """
+        if self._aborted.is_set():
+            raise SimAborted("simulation aborted")
+        try:
+            return state.barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            if not self._aborted.is_set():
+                self.abort(
+                    -1,
+                    TimeoutError(
+                        f"collective timed out after {self.timeout}s — a rank "
+                        "never arrived (deadlock or mismatched collectives)"
+                    ),
+                )
+            raise SimAborted("simulation aborted (broken barrier)") from None
+
+    # -- point-to-point ----------------------------------------------------
+    def mailbox_put(self, src: int, dst: int, item: Any) -> None:
+        with self._mailbox_cv:
+            self._mailboxes.setdefault((src, dst), []).append(item)
+            self._mailbox_cv.notify_all()
+
+    def mailbox_get(self, src: int, dst: int) -> Any:
+        deadline = threading.TIMEOUT_MAX
+        with self._mailbox_cv:
+            while True:
+                if self._aborted.is_set():
+                    raise SimAborted("simulation aborted")
+                box = self._mailboxes.get((src, dst))
+                if box:
+                    return box.pop(0)
+                if not self._mailbox_cv.wait(timeout=min(self.timeout, deadline)):
+                    self.abort(
+                        dst,
+                        TimeoutError(
+                            f"recv timed out after {self.timeout}s waiting "
+                            f"for a message {src}->{dst}"
+                        ),
+                    )
+                    raise SimAborted(f"recv timeout waiting for message {src}->{dst}")
+
+    def sim_stats(self) -> SimStats:
+        return SimStats(clocks=self.clocks, comm=self.stats)
+
+
+@dataclass
+class SpmdResult:
+    """Return value of :func:`run_spmd`."""
+
+    returns: list[Any]
+    stats: SimStats
+
+    def __iter__(self):
+        return iter(self.returns)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.returns[rank]
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable,
+    *args: Any,
+    cost_model: CollectiveCostModel | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    record_peers: bool = False,
+    record_timeline: bool = False,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Every rank executes in its own thread against a shared
+    :class:`SimEngine`.  Exceptions raised by any rank abort the whole run
+    and are re-raised (the first one, with the rank noted) in the caller.
+
+    Returns
+    -------
+    SpmdResult
+        Per-rank return values plus the run's :class:`SimStats`.
+    """
+    from repro.mpsim.communicator import Communicator
+
+    engine = SimEngine(
+        nranks,
+        cost_model=cost_model,
+        timeout=timeout,
+        record_peers=record_peers,
+        record_timeline=record_timeline,
+    )
+    returns: list[Any] = [None] * nranks
+    threads: list[threading.Thread] = []
+
+    def worker(rank: int) -> None:
+        comm = Communicator(engine, engine.world, rank)
+        try:
+            returns[rank] = fn(comm, *args, **kwargs)
+        except SimAborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must tear down peers
+            engine.abort(rank, exc)
+
+    for rank in range(nranks):
+        thread = threading.Thread(
+            target=worker, args=(rank,), name=f"spmd-rank-{rank}", daemon=True
+        )
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    if engine._errors:
+        rank, exc = engine._errors[0]
+        raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
+    return SpmdResult(returns=returns, stats=engine.sim_stats())

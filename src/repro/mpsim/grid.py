@@ -1,0 +1,91 @@
+"""Two-dimensional processor grid (Section 3.2).
+
+Ranks are logically arranged on a ``pr x pc`` mesh; ``P(i, j)`` is the rank
+with index ``i * pc + j``.  The grid exposes the row and column
+sub-communicators the 2D algorithm needs (fold = Alltoallv over the row,
+expand = Allgatherv over the column) plus the square-grid vector transpose.
+
+The paper uses "the closest square processor grid" for all 2D experiments;
+:func:`closest_square` mirrors that choice.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mpsim.communicator import Communicator
+
+
+def closest_square(p: int) -> int:
+    """Largest perfect square not exceeding ``p`` (paper's grid choice)."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return int(math.isqrt(p)) ** 2
+
+
+class ProcessorGrid:
+    """Row/column view of a communicator whose size is ``pr * pc``.
+
+    Parameters
+    ----------
+    comm:
+        The parent communicator; its size must equal ``pr * pc``.
+    pr, pc:
+        Grid dimensions.  If omitted, the square root of ``comm.size`` is
+        used (and the size must then be a perfect square).
+    """
+
+    def __init__(self, comm: Communicator, pr: int | None = None, pc: int | None = None):
+        if pr is None and pc is None:
+            side = math.isqrt(comm.size)
+            if side * side != comm.size:
+                raise ValueError(
+                    f"communicator size {comm.size} is not a perfect square; "
+                    "pass pr and pc explicitly"
+                )
+            pr = pc = side
+        if pr is None or pc is None:
+            raise ValueError("pass both pr and pc, or neither")
+        if pr * pc != comm.size:
+            raise ValueError(f"grid {pr}x{pc} != communicator size {comm.size}")
+        self.comm = comm
+        self.pr = pr
+        self.pc = pc
+        self.row = comm.rank // pc  # my processor-row index i
+        self.col = comm.rank % pc  # my processor-column index j
+        # Fold phase happens along the processor row, expand along the column.
+        self.row_comm = comm.split(color=self.row, key=self.col)
+        self.col_comm = comm.split(color=self.col, key=self.row)
+        assert self.row_comm is not None and self.col_comm is not None
+        assert self.row_comm.rank == self.col
+        assert self.col_comm.rank == self.row
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProcessorGrid({self.pr}x{self.pc}, P({self.row},{self.col}))"
+
+    @property
+    def is_square(self) -> bool:
+        return self.pr == self.pc
+
+    def rank_of(self, i: int, j: int) -> int:
+        """Group rank of processor ``P(i, j)``."""
+        if not (0 <= i < self.pr and 0 <= j < self.pc):
+            raise ValueError(f"P({i},{j}) outside {self.pr}x{self.pc} grid")
+        return i * self.pc + j
+
+    @property
+    def transpose_partner(self) -> int:
+        """Rank of ``P(j, i)`` — the square-grid transpose partner."""
+        if not self.is_square:
+            raise ValueError("vector transpose requires a square grid")
+        return self.rank_of(self.col, self.row)
+
+    def transpose_vector(self, buf: np.ndarray | None) -> np.ndarray:
+        """``TransposeVector`` (Algorithm 3, line 5).
+
+        On a square grid this is a pairwise exchange between ``P(i, j)`` and
+        ``P(j, i)``; diagonal processors keep their piece.
+        """
+        return self.comm.exchange(self.transpose_partner, buf)

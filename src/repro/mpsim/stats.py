@@ -1,0 +1,139 @@
+"""Communication statistics for simulated SPMD runs.
+
+Volumes are counted in *words* (array elements; the paper's model counts
+64-bit memory words) and are exact: they are derived from the actual NumPy
+buffers handed to the collectives, not from a model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.mpsim.clock import RankClock
+
+
+@dataclass
+class RankStats:
+    """Per-rank communication record.
+
+    ``words_sent``/``words_recv`` and ``calls`` are keyed by collective
+    kind (``"alltoallv"``, ``"allgatherv"``, ``"allreduce"``, ...).
+    """
+
+    words_sent: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    words_recv: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    mpi_time_by_kind: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: Words sent per destination *global* rank (populated only when the
+    #: run was launched with ``record_peers=True``).
+    peer_words: dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    #: Collective spans on this rank's virtual clock (populated only when
+    #: the run was launched with ``record_timeline=True``).
+    events: list = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        sent_words: float,
+        recv_words: float,
+        mpi_seconds: float,
+    ) -> None:
+        self.words_sent[kind] += sent_words
+        self.words_recv[kind] += recv_words
+        self.calls[kind] += 1
+        self.mpi_time_by_kind[kind] += mpi_seconds
+
+    @property
+    def total_words_sent(self) -> float:
+        return float(sum(self.words_sent.values()))
+
+    @property
+    def total_words_recv(self) -> float:
+        return float(sum(self.words_recv.values()))
+
+
+@dataclass
+class SimStats:
+    """Aggregated statistics of one SPMD run (all ranks)."""
+
+    clocks: list[RankClock]
+    comm: list[RankStats]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.clocks)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual wall-clock of the run: the slowest rank's finish time."""
+        return max((c.time for c in self.clocks), default=0.0)
+
+    @property
+    def max_compute_time(self) -> float:
+        return max((c.compute_time for c in self.clocks), default=0.0)
+
+    @property
+    def max_mpi_time(self) -> float:
+        return max((c.mpi_time for c in self.clocks), default=0.0)
+
+    @property
+    def mean_mpi_time(self) -> float:
+        if not self.clocks:
+            return 0.0
+        return sum(c.mpi_time for c in self.clocks) / len(self.clocks)
+
+    def mpi_fraction(self, rank: int) -> float:
+        """Fraction of a rank's virtual time spent in MPI (Fig. 4 metric)."""
+        clock = self.clocks[rank]
+        if clock.time <= 0:
+            return 0.0
+        return clock.mpi_time / clock.time
+
+    def words_sent(self, kind: str | None = None) -> float:
+        """Total words sent across all ranks (optionally one collective kind)."""
+        if kind is None:
+            return float(sum(r.total_words_sent for r in self.comm))
+        return float(sum(r.words_sent.get(kind, 0.0) for r in self.comm))
+
+    def words_recv(self, kind: str | None = None) -> float:
+        if kind is None:
+            return float(sum(r.total_words_recv for r in self.comm))
+        return float(sum(r.words_recv.get(kind, 0.0) for r in self.comm))
+
+    def calls(self, kind: str) -> int:
+        """Maximum number of calls of ``kind`` made by any rank."""
+        return max((r.calls.get(kind, 0) for r in self.comm), default=0)
+
+    def mpi_time_by_kind(self, kind: str) -> float:
+        """Max-over-ranks MPI seconds attributed to one collective kind."""
+        return max((r.mpi_time_by_kind.get(kind, 0.0) for r in self.comm), default=0.0)
+
+    def counter(self, name: str) -> float:
+        """Sum of a named operation counter across ranks."""
+        return float(sum(c.counters.get(name, 0.0) for c in self.clocks))
+
+    def comm_matrix(self):
+        """Rank-to-rank traffic matrix: ``M[i, j]`` = words ``i`` sent ``j``.
+
+        Requires the run to have been launched with ``record_peers=True``
+        (otherwise the matrix is all zeros).  Self-traffic is excluded by
+        construction.
+        """
+        import numpy as np
+
+        matrix = np.zeros((self.nranks, self.nranks))
+        for src, rank_stats in enumerate(self.comm):
+            for dst, words in rank_stats.peer_words.items():
+                matrix[src, dst] = words
+        return matrix
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "nranks": self.nranks,
+            "makespan": self.makespan,
+            "max_compute_time": self.max_compute_time,
+            "max_mpi_time": self.max_mpi_time,
+            "mean_mpi_time": self.mean_mpi_time,
+            "total_words_sent": self.words_sent(),
+        }

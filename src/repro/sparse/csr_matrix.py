@@ -1,0 +1,114 @@
+"""Local CSR matrix block (the 1D-side sparse matrix view).
+
+The 1D algorithm stores each rank's rows in plain CSR (Section 4.1: CSR
+is space-efficient for 1D because the aggregate pointer storage stays
+``O(n)``).  This class adds the small amount of matrix algebra the tests
+and examples use to cross-validate the graph kernels: boolean SpMV and
+semiring SpMSV over a CSR block, plus conversion to DCSC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.dcsc import DCSC
+from repro.sparse.semiring import SELECT_MAX, Semiring
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Boolean sparse matrix in CSR with 64-bit indices."""
+
+    nrows: int
+    ncols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self):
+        if self.indptr.shape != (self.nrows + 1,):
+            raise ValueError(f"indptr length {self.indptr.size} != nrows+1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr does not span indices")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.ncols
+        ):
+            raise ValueError(f"column ids out of range [0, {self.ncols})")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @classmethod
+    def from_coo(
+        cls, nrows: int, ncols: int, rows: np.ndarray, cols: np.ndarray
+    ) -> "CSRMatrix":
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        if rows.size:
+            keep = np.empty(rows.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(rows[1:], rows[:-1], out=keep[1:])
+            keep[1:] |= cols[1:] != cols[:-1]
+            rows, cols = rows[keep], cols[keep]
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=nrows), out=indptr[1:])
+        return cls(nrows=nrows, ncols=ncols, indptr=indptr, indices=cols)
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return rows, self.indices.copy()
+
+    def transpose(self) -> "CSRMatrix":
+        rows, cols = self.to_coo()
+        return CSRMatrix.from_coo(self.ncols, self.nrows, cols, rows)
+
+    def to_dcsc(self) -> DCSC:
+        """Convert to the hypersparse representation (column-oriented)."""
+        rows, cols = self.to_coo()
+        return DCSC.from_coo(self.nrows, self.ncols, rows, cols)
+
+    def spmv_bool(self, x: np.ndarray) -> np.ndarray:
+        """Boolean matrix-vector product: ``y_i = OR_j A_ij & x_j``."""
+        x = np.asarray(x, dtype=bool)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"x length {x.shape} != ncols {self.ncols}")
+        hits = x[self.indices].astype(np.int64)
+        if hits.size == 0:
+            return np.zeros(self.nrows, dtype=bool)
+        # reduceat requires in-bounds offsets (empty trailing rows point at
+        # hits.size) and copies the operand for empty rows; clip, then zero
+        # the empty rows explicitly.
+        starts = np.minimum(self.indptr[:-1], hits.size - 1)
+        sums = np.add.reduceat(hits, starts, dtype=np.int64)
+        sums[np.diff(self.indptr) == 0] = 0
+        return sums > 0
+
+    def spmsv_reference(
+        self,
+        frontier_idx: np.ndarray,
+        frontier_val: np.ndarray,
+        semiring: Semiring = SELECT_MAX,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Slow-but-obvious semiring SpMSV used as the test oracle.
+
+        Treats this matrix in *column* orientation (like DCSC): output row
+        ``r`` combines the payloads of all frontier columns ``c`` with
+        ``A[r, c] != 0``.
+        """
+        dense = np.full(self.nrows, semiring.identity, dtype=np.int64)
+        lookup = {int(c): int(v) for c, v in zip(frontier_idx, frontier_val)}
+        rows, cols = self.to_coo()
+        for r, c in zip(rows, cols):
+            if int(c) in lookup:
+                val = np.int64(lookup[int(c)])
+                dense[r] = semiring.combine(
+                    np.asarray(dense[r]), np.asarray(val)
+                )
+        out_idx = np.flatnonzero(dense != semiring.identity).astype(np.int64)
+        return out_idx, dense[out_idx]

@@ -1,0 +1,90 @@
+"""SciPy sparse interoperability.
+
+Downstream users live in the `scipy.sparse` ecosystem; these converters
+bridge it with the repo's structures so graphs and blocks can be
+round-tripped without touching raw index arrays:
+
+* :func:`csr_to_scipy` / :func:`csr_from_scipy` — the graph adjacency
+  structure (:class:`repro.graphs.csr.CSR`);
+* :func:`dcsc_to_scipy` / :func:`dcsc_from_scipy` — hypersparse 2D blocks;
+* :func:`graph_to_scipy` — a traversal-ready
+  :class:`~repro.graphs.graph.Graph` as a boolean adjacency matrix in the
+  caller's (original) vertex labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.csr import CSR
+from repro.graphs.graph import Graph
+from repro.sparse.dcsc import DCSC
+
+
+def csr_to_scipy(csr: CSR) -> sp.csr_matrix:
+    """Boolean scipy CSR with the same adjacency structure."""
+    data = np.ones(csr.nnz, dtype=bool)
+    return sp.csr_matrix(
+        (data, csr.indices.copy(), csr.indptr.copy()), shape=(csr.n, csr.n)
+    )
+
+
+def csr_from_scipy(matrix: sp.spmatrix) -> CSR:
+    """Build a :class:`CSR` from any square scipy sparse matrix.
+
+    Values are ignored (the graph is boolean); duplicates collapse and
+    adjacencies come out sorted, as Section 4.1 requires.
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"adjacency matrices must be square, got {matrix.shape}")
+    coo = matrix.tocoo()
+    from repro.graphs.csr import build_csr
+
+    return build_csr(
+        matrix.shape[0],
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        symmetrize=False,
+        dedup=True,
+        drop_self_loops=False,
+    )
+
+
+def dcsc_to_scipy(block: DCSC) -> sp.csc_matrix:
+    """Boolean scipy CSC of a hypersparse block (column pointers expand)."""
+    rows, cols = block.to_coo()
+    data = np.ones(rows.size, dtype=bool)
+    return sp.csc_matrix(
+        (data, (rows, cols)), shape=(block.nrows, block.ncols)
+    )
+
+
+def dcsc_from_scipy(matrix: sp.spmatrix) -> DCSC:
+    """Compress any scipy sparse matrix into DCSC (values ignored)."""
+    coo = matrix.tocoo()
+    return DCSC.from_coo(
+        matrix.shape[0],
+        matrix.shape[1],
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+    )
+
+
+def graph_to_scipy(graph: Graph, original_labels: bool = True) -> sp.csr_matrix:
+    """Adjacency matrix of a :class:`Graph`.
+
+    With ``original_labels=True`` (default) the matrix uses the caller's
+    vertex ids, undoing the internal load-balancing shuffle.
+    """
+    matrix = csr_to_scipy(graph.csr)
+    if original_labels and graph.perm is not None:
+        # internal = perm[original]  =>  A_orig = P^T A_int P with
+        # P[i, perm[i]] = 1.
+        n = graph.n
+        perm = graph.perm
+        p_mat = sp.csr_matrix(
+            (np.ones(n, dtype=bool), (np.arange(n), perm)), shape=(n, n)
+        )
+        matrix = (p_mat @ matrix @ p_mat.T).tocsr()
+    return matrix

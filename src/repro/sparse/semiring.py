@@ -1,0 +1,92 @@
+"""Algebraic semirings for graph traversal (Section 3.2).
+
+A BFS level is ``x_{k+1} = A^T (x) x_k  .*  not(visited)`` over a
+(select, max) semiring: "multiplication" selects the frontier value
+(the parent id) attached to a nonzero, and "addition" combines competing
+parents for the same row with ``max``.  Any associative, commutative,
+idempotent-friendly combine works for BFS correctness; ``max`` makes every
+kernel deterministic, so the SPA and heap paths produce bit-identical
+results (handy for Figure 3's apples-to-apples comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """Reduction semiring acting on ``int64`` payloads.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in dispatch and reports.
+    identity:
+        The "zero": payload value meaning *no contribution* (must compare
+        below every real payload for ``max``-style combines).
+    """
+
+    name: str
+    identity: int
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise combine of two payload arrays."""
+        raise NotImplementedError
+
+    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
+        """In-place scatter-combine ``dense[positions] (+)= values``."""
+        raise NotImplementedError
+
+    def reduce_sorted_runs(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Combine values sharing a key (input order is irrelevant).
+
+        Returns unique keys in ascending order with their combined values.
+        """
+        raise NotImplementedError
+
+
+class _SelectMax(Semiring):
+    """The paper's (select, max) semiring with identity -1."""
+
+    def __init__(self):
+        super().__init__(name="select-max", identity=-1)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.maximum(a, b)
+
+    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
+        np.maximum.at(dense, positions, values)
+
+    def reduce_sorted_runs(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if keys.size == 0:
+            return keys, values
+        span = np.int64(values.max()) + 1
+        if 0 <= values.min() and keys.max() < (1 << 62) // max(span, 1):
+            # Composite-key quicksort; the max value of each key run is
+            # the run's last entry (see core.frontier.dedup_candidates).
+            composite = keys * span + values
+            composite.sort()
+            out_keys = composite // span
+            last = np.empty(composite.size, dtype=bool)
+            last[-1] = True
+            np.not_equal(out_keys[1:], out_keys[:-1], out=last[:-1])
+            composite = composite[last]
+            out_keys = out_keys[last]
+            return out_keys, composite - out_keys * span
+        order = np.lexsort((values, keys))
+        keys, values = keys[order], values[order]
+        last = np.empty(keys.size, dtype=bool)
+        last[-1] = True
+        np.not_equal(keys[1:], keys[:-1], out=last[:-1])
+        return keys[last], values[last]
+
+
+#: Singleton instance used throughout the 2D algorithm.
+SELECT_MAX = _SelectMax()

@@ -1,0 +1,111 @@
+"""Sorted sparse vector — the 2D algorithm's frontier representation.
+
+Section 4.1: "We use a stack in the 1D implementation and a sorted sparse
+vector in the 2D implementation.  Any extra data that are piggybacked to
+the frontier vectors adversely affect the performance" — so the vector
+stores exactly (index, value) pairs, nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SparseVector:
+    """Immutable sparse vector with sorted unique ``int64`` indices.
+
+    ``indices`` are positions (vertex ids); ``values`` carry the semiring
+    payload (for BFS: the proposed parent vertex id).
+    """
+
+    length: int
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        if self.indices.shape != self.values.shape or self.indices.ndim != 1:
+            raise ValueError(
+                f"indices/values must be equal-length 1-D, got "
+                f"{self.indices.shape} vs {self.values.shape}"
+            )
+        if self.indices.size:
+            if self.indices[0] < 0 or self.indices[-1] >= self.length:
+                raise ValueError(
+                    f"indices out of range [0, {self.length})"
+                )
+            if np.any(self.indices[1:] <= self.indices[:-1]):
+                raise ValueError("indices must be strictly increasing")
+
+    @classmethod
+    def empty(cls, length: int) -> "SparseVector":
+        return cls(
+            length,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_pairs(
+        cls, length: int, indices: np.ndarray, values: np.ndarray, reduce: str = "max"
+    ) -> "SparseVector":
+        """Build from possibly unsorted, possibly duplicated pairs.
+
+        Duplicates are combined with ``reduce`` (the (select, max) semiring
+        uses ``"max"``).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if indices.size == 0:
+            return cls.empty(length)
+        if reduce == "max":
+            order = np.lexsort((values, indices))
+            indices, values = indices[order], values[order]
+            # The last entry of each equal-index run holds the max value.
+            last = np.empty(indices.size, dtype=bool)
+            last[-1] = True
+            np.not_equal(indices[1:], indices[:-1], out=last[:-1])
+            return cls(length, indices[last], values[last])
+        raise ValueError(f"unknown reduce {reduce!r}")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, empty_value: int = -1) -> "SparseVector":
+        """Sparsify a dense vector, dropping entries equal to the sentinel."""
+        dense = np.asarray(dense)
+        idx = np.flatnonzero(dense != empty_value).astype(np.int64)
+        return cls(dense.size, idx, dense[idx].astype(np.int64))
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def to_dense(self, empty_value: int = -1) -> np.ndarray:
+        dense = np.full(self.length, empty_value, dtype=np.int64)
+        dense[self.indices] = self.values
+        return dense
+
+    def restrict(self, lo: int, hi: int, rebase: bool = False) -> "SparseVector":
+        """Entries with indices in ``[lo, hi)``; optionally rebased to 0."""
+        if not 0 <= lo <= hi <= self.length:
+            raise ValueError(f"bad range [{lo}, {hi}) for length {self.length}")
+        a = np.searchsorted(self.indices, lo)
+        b = np.searchsorted(self.indices, hi)
+        idx = self.indices[a:b]
+        if rebase:
+            return SparseVector(hi - lo, idx - lo, self.values[a:b])
+        return SparseVector(self.length, idx, self.values[a:b])
+
+    def mask_out(self, occupied_dense: np.ndarray) -> "SparseVector":
+        """Element-wise product with the *complement* of a dense vector.
+
+        Keeps entries whose position is still unvisited (``== -1`` in the
+        parents array): Algorithm 3's ``t <- t (x) pi-bar`` step.
+        """
+        if occupied_dense.shape != (self.length,):
+            raise ValueError(
+                f"mask length {occupied_dense.shape} != vector length {self.length}"
+            )
+        keep = occupied_dense[self.indices] == -1
+        return SparseVector(self.length, self.indices[keep], self.values[keep])

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, rmat_graph, webcrawl_graph
+
+
+@pytest.fixture(scope="session")
+def rmat_small() -> Graph:
+    """Scale-11 R-MAT graph (2048 vertices) used across integration tests."""
+    return rmat_graph(11, 16, seed=42)
+
+
+@pytest.fixture(scope="session")
+def rmat_medium() -> Graph:
+    """Scale-13 R-MAT graph for the heavier distributed tests."""
+    return rmat_graph(13, 16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def crawl_graph() -> Graph:
+    """High-diameter synthetic web crawl (uk-union stand-in)."""
+    return webcrawl_graph(6000, n_hosts=30, host_reach=1, seed=3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_path_graph(n: int) -> Graph:
+    """Deterministic path 0-1-2-...-(n-1): known levels for exact checks."""
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    return Graph.from_edges(n, src, dst, shuffle=False, name=f"path-{n}")
+
+
+def make_star_graph(n: int) -> Graph:
+    """Star with center 0: every other vertex at level 1."""
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    return Graph.from_edges(n, src, dst, shuffle=False, name=f"star-{n}")
+
+
+def make_disconnected_graph() -> Graph:
+    """Two components: a triangle {0,1,2} and an edge {3,4}; vertex 5 isolated."""
+    src = np.array([0, 1, 2, 3], dtype=np.int64)
+    dst = np.array([1, 2, 0, 4], dtype=np.int64)
+    return Graph.from_edges(6, src, dst, shuffle=False, name="disconnected")

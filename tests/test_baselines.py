@@ -1,0 +1,45 @@
+"""Tests for the PBGL-like and Graph500-reference baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_bfs
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("algo", ["pbgl", "graph500-ref"])
+    def test_matches_serial(self, rmat_small, algo):
+        src = int(rmat_small.random_nonisolated_vertices(1, 0)[0])
+        ref = run_bfs(rmat_small, src, "serial")
+        res = run_bfs(rmat_small, src, algo, nprocs=6, validate=True)
+        assert np.array_equal(res.levels, ref.levels)
+        assert np.array_equal(res.parents, ref.parents)
+
+
+class TestBaselinePerformanceGaps:
+    def test_reference_sends_more_than_tuned_1d(self, rmat_medium):
+        """The reference code ships every edge; the tuned code dedups."""
+        src = int(rmat_medium.random_nonisolated_vertices(1, 1)[0])
+        tuned = run_bfs(rmat_medium, src, "1d", nprocs=8)
+        ref = run_bfs(rmat_medium, src, "graph500-ref", nprocs=8)
+        assert ref.stats.words_sent("alltoallv") > tuned.stats.words_sent(
+            "alltoallv"
+        )
+
+    def test_tuned_1d_faster_than_reference(self, rmat_medium):
+        """Section 6: flat 1D is 2.7-4.1x the reference code on Franklin."""
+        src = int(rmat_medium.random_nonisolated_vertices(1, 2)[0])
+        tuned = run_bfs(rmat_medium, src, "1d", nprocs=8, machine="franklin")
+        ref = run_bfs(
+            rmat_medium, src, "graph500-ref", nprocs=8, machine="franklin"
+        )
+        assert tuned.time_total < ref.time_total
+
+    def test_2d_much_faster_than_pbgl(self, rmat_medium):
+        """Table 2: flat 2D is an order of magnitude above PBGL on Carver."""
+        src = int(rmat_medium.random_nonisolated_vertices(1, 3)[0])
+        two_d = run_bfs(rmat_medium, src, "2d", nprocs=16, machine="carver")
+        pbgl = run_bfs(rmat_medium, src, "pbgl", nprocs=16, machine="carver")
+        assert two_d.mteps() > 4 * pbgl.mteps()

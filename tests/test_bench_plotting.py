@@ -1,0 +1,125 @@
+"""Tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plotting import (
+    bar_chart,
+    line_chart,
+    render_figure,
+    series_from_table,
+)
+from repro.bench.report import Table
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        chart = line_chart(
+            "T", [1, 10, 100], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]}
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "legend: o=a   *=b" in lines[-1]
+        # Extremes labeled on the y axis.
+        assert any(line.lstrip().startswith("3 |") for line in lines)
+        assert any(line.lstrip().startswith("1 |") for line in lines)
+
+    def test_markers_at_extremes(self):
+        chart = line_chart("T", [1, 100], {"up": [0.0, 10.0]}, width=40, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")  # max at top-right
+        assert "o" in rows[-1]  # min at bottom-left
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_chart("T", [1, 2], {})
+        with pytest.raises(ValueError, match="points"):
+            line_chart("T", [1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError, match="two x"):
+            line_chart("T", [1], {"a": [1.0]})
+        with pytest.raises(ValueError, match="positive"):
+            line_chart("T", [0, 2], {"a": [1.0, 2.0]})
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart("T", [1, 2, 4], {"flat": [5.0, 5.0, 5.0]}, log_x=True)
+        assert "o" in chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(
+            "B", ["one", "two"], {"x": [1.0, 2.0], "y": [4.0, 0.0]}, width=8
+        )
+        lines = chart.splitlines()
+        x_one = next(line for line in lines if line.strip().startswith("x") and "1" in line)
+        y_one = next(line for line in lines if line.strip().startswith("y") and "4" in line)
+        assert y_one.count("#") == 8  # the peak fills the width
+        assert 1 <= x_one.count("#") <= 3
+
+    def test_zero_value_renders_no_bar(self):
+        chart = bar_chart("B", ["c"], {"z": [0.0]})
+        line = next(ln for ln in chart.splitlines() if ln.strip().startswith("z"))
+        assert "#" not in line
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            bar_chart("B", ["c"], {})
+        with pytest.raises(ValueError, match="values"):
+            bar_chart("B", ["c", "d"], {"x": [1.0]})
+
+
+class TestSeriesFromTable:
+    def make_table(self):
+        t = Table(title="T", headers=["scale", "cores", "1d", "2d", "label"])
+        t.add_row(29, 512, 1.0, 2.0, "a")
+        t.add_row(29, 1024, 3.0, 4.0, "b")
+        t.add_row(32, 512, 9.0, 9.5, "c")
+        return t
+
+    def test_where_filters_panel(self):
+        xs, series = series_from_table(
+            self.make_table(), "cores", where={"scale": 29}
+        )
+        assert xs == [512.0, 1024.0]
+        assert series["1d"] == [1.0, 3.0]
+
+    def test_auto_series_skip_non_numeric(self):
+        _xs, series = series_from_table(
+            self.make_table(), "cores", where={"scale": 29}
+        )
+        assert "label" not in series
+
+    def test_explicit_columns(self):
+        _xs, series = series_from_table(
+            self.make_table(), "cores", series_columns=["2d"], where={"scale": 29}
+        )
+        assert list(series) == ["2d"]
+
+    def test_no_matching_rows(self):
+        with pytest.raises(ValueError, match="no rows match"):
+            series_from_table(self.make_table(), "cores", where={"scale": 99})
+
+
+class TestRenderFigure:
+    def test_known_figures_render(self):
+        from repro.bench.experiments import run_experiment
+
+        for exp_id in ("fig5", "fig10"):
+            table = run_experiment(exp_id, quick=True)
+            chart = render_figure(table, exp_id)
+            assert chart is not None
+            assert table.title.split(" [")[0] in chart
+
+    def test_series_are_algorithms_only(self):
+        from repro.bench.experiments import run_experiment
+
+        table = run_experiment("fig5", quick=True)
+        chart = render_figure(table, "fig5")
+        assert "o=1d" in chart
+        assert "edgefactor" not in chart.splitlines()[-1]
+
+    def test_tables_without_charts_return_none(self):
+        t = Table(title="misc", headers=["a"])
+        t.add_row(1)
+        assert render_figure(t, "table1") is None

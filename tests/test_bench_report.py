@@ -1,0 +1,57 @@
+"""Tests for the result-table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import Table
+
+
+class TestTable:
+    def make(self) -> Table:
+        t = Table(title="T", headers=["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(10, 0.001)
+        return t
+
+    def test_add_row_arity_checked(self):
+        t = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("a") == [1, 10]
+        with pytest.raises(KeyError, match="no column"):
+            t.column("z")
+
+    def test_render_contains_everything(self):
+        t = self.make()
+        t.notes.append("hello")
+        out = t.render()
+        assert "T" in out
+        assert "a" in out and "b" in out
+        assert "2.5" in out
+        assert "0.001" in out
+        assert "note: hello" in out
+
+    def test_render_aligns_columns(self):
+        t = self.make()
+        lines = t.render().splitlines()
+        header_line = lines[2]
+        first_row = lines[4]
+        assert len(header_line) == len(lines[3])  # separator matches
+        assert len(first_row) <= len(header_line) + 2
+
+    def test_save_round_trip(self, tmp_path):
+        t = self.make()
+        path = t.save(tmp_path / "sub", "exp")
+        assert path.name == "exp.txt"
+        assert path.read_text().startswith("T\n")
+
+    def test_float_formatting(self):
+        t = Table(title="F", headers=["x"])
+        t.add_row(123456.789)
+        t.add_row(0.0)
+        assert "1.23e+05" in t.render()
+        assert "\n  0" in t.render() or " 0" in t.render()

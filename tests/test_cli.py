@@ -1,0 +1,54 @@
+"""Tests for the repro-bench command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "table2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figZZ"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_one_quick(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "finished in" in out
+
+    def test_output_dir(self, tmp_path, capsys):
+        assert main(["fig5", "--quick", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "fig5.txt").exists()
+        assert "Figure 5" in (tmp_path / "fig5.txt").read_text()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["all"])
+        assert args.experiment == "all"
+        assert args.quick is False
+        assert args.output_dir is None
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401 - import is the test
+
+    def test_console_script_registered(self):
+        import importlib.metadata as md
+
+        eps = md.entry_points()
+        scripts = eps.select(group="console_scripts") if hasattr(eps, "select") else eps["console_scripts"]
+        names = {ep.name for ep in scripts}
+        if "repro-bench" not in names:
+            pytest.skip("editable install without console script metadata")
+
+    def test_graph500_mode(self, capsys):
+        assert main(["graph500", "--scale", "10", "--nbfs", "2", "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "SCALE:" in out
+        assert "harmonic_mean_TEPS:" in out

@@ -1,0 +1,123 @@
+"""Tests for the high-level run_bfs driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import ALGORITHMS, run_bfs
+
+
+class TestRunBfs:
+    def test_all_algorithms_agree(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 0)[0])
+        ref = run_bfs(rmat_small, src, "serial")
+        for algo in ALGORITHMS:
+            res = run_bfs(rmat_small, src, algo, nprocs=9, validate=True)
+            assert np.array_equal(res.levels, ref.levels), algo
+            assert np.array_equal(res.parents, ref.parents), algo
+            assert res.m_traversed == ref.m_traversed, algo
+
+    def test_results_in_original_labels(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 1)[0])
+        res = run_bfs(rmat_small, src, "1d", nprocs=4)
+        assert res.levels[src] == 0
+        assert res.parents[src] == src
+        # A neighbor (original labels) of the source sits at level <= 1.
+        internal_src = int(np.asarray(rmat_small.to_internal(src)))
+        nbr_internal = int(rmat_small.csr.neighbors(internal_src)[0])
+        nbr = int(np.asarray(rmat_small.to_original(nbr_internal)))
+        assert res.levels[nbr] == 1
+
+    def test_2d_uses_closest_square(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 2)[0])
+        res = run_bfs(rmat_small, src, "2d", nprocs=10)
+        assert res.nranks == 9  # paper: closest square grid
+
+    def test_unknown_algorithm(self, rmat_small):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_bfs(rmat_small, 0, "3d")
+
+    def test_bad_source(self, rmat_small):
+        with pytest.raises(ValueError, match="source"):
+            run_bfs(rmat_small, rmat_small.n, "serial")
+
+    def test_flat_rejects_threads(self, rmat_small):
+        with pytest.raises(ValueError, match="flat variant"):
+            run_bfs(rmat_small, 0, "1d", threads=4)
+
+    def test_hybrid_thread_defaults(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 3)[0])
+        on_franklin = run_bfs(
+            rmat_small, src, "1d-hybrid", nprocs=2, machine="franklin"
+        )
+        on_hopper = run_bfs(rmat_small, src, "1d-hybrid", nprocs=2, machine="hopper")
+        assert on_franklin.threads == 4  # paper: 4-way on Franklin
+        assert on_hopper.threads == 6  # 6-way on Hopper (NUMA domains)
+
+    def test_untimed_run_has_no_teps(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 4)[0])
+        res = run_bfs(rmat_small, src, "1d", nprocs=2)
+        with pytest.raises(ValueError, match="untimed"):
+            res.gteps()
+
+    def test_timed_run_reports_breakdown(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 5)[0])
+        res = run_bfs(rmat_small, src, "2d", nprocs=9, machine="hopper")
+        assert res.time_total > 0
+        assert 0 < res.time_comm <= res.time_total
+        assert res.time_comp > 0
+        assert res.gteps() > 0
+        assert res.mteps() == pytest.approx(res.gteps() * 1e3)
+
+    def test_machine_accepts_config_object(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 6)[0])
+        res = run_bfs(rmat_small, src, "1d", nprocs=4, machine=repro.FRANKLIN)
+        assert res.time_total > 0
+
+    def test_unknown_machine_rejected(self, rmat_small):
+        with pytest.raises(ValueError, match="unknown machine"):
+            run_bfs(rmat_small, 0, "1d", machine="bluegene")
+
+    def test_vector_dist_ablation(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 7)[0])
+        ref = run_bfs(rmat_small, src, "serial")
+        res = run_bfs(rmat_small, src, "2d", nprocs=9, vector_dist="1d")
+        assert np.array_equal(res.levels, ref.levels)
+
+    def test_serial_on_directed_graph(self):
+        src_arr = np.array([0, 1, 2], dtype=np.int64)
+        dst_arr = np.array([1, 2, 3], dtype=np.int64)
+        g = repro.Graph.from_edges(
+            4, src_arr, dst_arr, symmetrize=False, shuffle=False
+        )
+        res = run_bfs(g, 0, "serial")
+        assert np.array_equal(res.levels, [0, 1, 2, 3])
+        # From the middle, earlier vertices are unreachable (directed).
+        res = run_bfs(g, 2, "serial")
+        assert np.array_equal(res.levels, [-1, -1, 0, 1])
+
+    def test_distributed_on_directed_graph(self):
+        rng = np.random.default_rng(0)
+        g = repro.Graph.from_edges(
+            64,
+            rng.integers(0, 64, 300),
+            rng.integers(0, 64, 300),
+            symmetrize=False,
+            shuffle=True,
+            seed=1,
+        )
+        src = int(g.random_nonisolated_vertices(1, 2)[0])
+        ref = run_bfs(g, src, "serial")
+        for algo in ("1d", "2d"):
+            res = run_bfs(g, src, algo, nprocs=4)
+            assert np.array_equal(res.levels, ref.levels), algo
+
+    def test_modeled_cores_forces_heap(self, rmat_small):
+        src = int(rmat_small.random_nonisolated_vertices(1, 8)[0])
+        ref = run_bfs(rmat_small, src, "serial")
+        res = run_bfs(
+            rmat_small, src, "2d", nprocs=4, modeled_cores=40_000, kernel="auto"
+        )
+        assert np.array_equal(res.levels, ref.levels)

@@ -1,0 +1,169 @@
+"""Serial BFS tests against hand-computed and oracle answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import bfs_serial
+from repro.core.serial import bfs_queue
+from repro.core.validate import ValidationError, count_traversed_edges, validate_bfs
+from tests.conftest import make_disconnected_graph, make_path_graph, make_star_graph
+
+
+class TestSerialBfs:
+    def test_path_graph_levels(self):
+        g = make_path_graph(10)
+        levels, parents = bfs_serial(g.csr, 0)
+        assert np.array_equal(levels, np.arange(10))
+        assert np.array_equal(parents, [0] + list(range(9)))
+
+    def test_path_graph_from_middle(self):
+        g = make_path_graph(7)
+        levels, _ = bfs_serial(g.csr, 3)
+        assert np.array_equal(levels, [3, 2, 1, 0, 1, 2, 3])
+
+    def test_star_graph(self):
+        g = make_star_graph(50)
+        levels, parents = bfs_serial(g.csr, 0)
+        assert levels[0] == 0
+        assert np.all(levels[1:] == 1)
+        assert np.all(parents[1:] == 0)
+
+    def test_star_from_leaf(self):
+        g = make_star_graph(10)
+        levels, _ = bfs_serial(g.csr, 5)
+        assert levels[5] == 0 and levels[0] == 1
+        assert np.all(np.delete(levels, [0, 5]) == 2)
+
+    def test_disconnected(self):
+        g = make_disconnected_graph()
+        levels, parents = bfs_serial(g.csr, 0)
+        assert np.array_equal(levels[:3] >= 0, [True, True, True])
+        assert levels[3] == -1 and levels[4] == -1 and levels[5] == -1
+        assert parents[3] == -1
+
+    def test_isolated_source(self):
+        g = make_disconnected_graph()
+        levels, parents = bfs_serial(g.csr, 5)
+        assert levels[5] == 0 and parents[5] == 5
+        assert np.all(levels[:5] == -1)
+
+    def test_source_out_of_range(self):
+        g = make_path_graph(5)
+        with pytest.raises(ValueError, match="source"):
+            bfs_serial(g.csr, 5)
+
+    def test_matches_queue_oracle(self, rmat_small):
+        for seed in range(4):
+            src = int(
+                rmat_small.to_internal(
+                    rmat_small.random_nonisolated_vertices(1, seed=seed)[0]
+                )
+            )
+            lv, pv = bfs_serial(rmat_small.csr, src)
+            lq, _ = bfs_queue(rmat_small.csr, src)
+            assert np.array_equal(lv, lq)
+
+    def test_high_diameter(self, crawl_graph):
+        src = int(crawl_graph.to_internal(0))
+        levels, parents = bfs_serial(crawl_graph.csr, src)
+        assert levels.max() >= 25
+        validate_bfs(crawl_graph.csr, src, levels, parents)
+
+
+class TestValidation:
+    def test_accepts_correct_output(self, rmat_small):
+        src = int(rmat_small.to_internal(rmat_small.random_nonisolated_vertices(1, 0)[0]))
+        levels, parents = bfs_serial(rmat_small.csr, src)
+        validate_bfs(rmat_small.csr, src, levels, parents, reference_levels=levels)
+
+    def test_rejects_wrong_source_level(self):
+        g = make_path_graph(4)
+        levels, parents = bfs_serial(g.csr, 0)
+        levels = levels.copy()
+        levels[0] = 1
+        with pytest.raises(ValidationError, match="source level"):
+            validate_bfs(g.csr, 0, levels, parents)
+
+    def test_rejects_level_skip(self):
+        g = make_path_graph(4)
+        levels, parents = bfs_serial(g.csr, 0)
+        levels = levels.copy()
+        levels[3] = 5
+        with pytest.raises(ValidationError):
+            validate_bfs(g.csr, 0, levels, parents)
+
+    def test_rejects_fake_tree_edge(self):
+        g = make_path_graph(5)
+        levels, parents = bfs_serial(g.csr, 0)
+        parents = parents.copy()
+        parents[4] = 0  # 0-4 is not an edge... and levels disagree too
+        with pytest.raises(ValidationError):
+            validate_bfs(g.csr, 0, levels, parents)
+
+    def test_rejects_nonedge_parent_same_level_gap(self):
+        # Construct: square 0-1-2-3-0 plus chord-free diagonal claim.
+        import numpy as np
+
+        from repro.graphs import Graph
+
+        g = Graph.from_edges(
+            4, np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0]), shuffle=False
+        )
+        levels, parents = bfs_serial(g.csr, 0)
+        parents = parents.copy()
+        # Vertex 2 is at level 2; claim its parent is vertex 1's neighbor 0
+        # (level 0): wrong level spacing.
+        parents[2] = 0
+        with pytest.raises(ValidationError):
+            validate_bfs(g.csr, 0, levels, parents)
+
+    def test_rejects_reachability_mismatch(self):
+        g = make_path_graph(4)
+        levels, parents = bfs_serial(g.csr, 0)
+        parents = parents.copy()
+        parents[2] = -1
+        with pytest.raises(ValidationError, match="disagree"):
+            validate_bfs(g.csr, 0, levels, parents)
+
+    def test_rejects_unreachable_neighbor_undirected(self):
+        g = make_path_graph(4)
+        levels, parents = bfs_serial(g.csr, 0)
+        levels, parents = levels.copy(), parents.copy()
+        levels[3] = -1
+        parents[3] = -1
+        with pytest.raises(ValidationError):
+            validate_bfs(g.csr, 0, levels, parents)
+
+    def test_reference_mismatch(self):
+        g = make_star_graph(5)
+        levels, parents = bfs_serial(g.csr, 0)
+        wrong = levels.copy()
+        wrong[2] = 0  # also breaks other rules, but reference fires too
+        with pytest.raises(ValidationError):
+            validate_bfs(g.csr, 0, levels, parents, reference_levels=wrong)
+
+
+class TestTraversedEdges:
+    def test_full_component(self):
+        g = make_path_graph(5)
+        levels, _ = bfs_serial(g.csr, 0)
+        assert count_traversed_edges(g.csr, levels) == 4
+
+    def test_partial_component(self):
+        g = make_disconnected_graph()
+        levels, _ = bfs_serial(g.csr, 0)
+        # Triangle has 3 undirected edges; the 3-4 edge is outside.
+        assert count_traversed_edges(g.csr, levels) == 3
+
+    def test_m_input_scaling(self):
+        g = make_path_graph(3)
+        levels, _ = bfs_serial(g.csr, 0)
+        # Pretend the input listed each edge twice (duplicates).
+        assert count_traversed_edges(g.csr, levels, m_input=4) == 4
+
+    def test_isolated_source_zero_edges(self):
+        g = make_disconnected_graph()
+        levels, _ = bfs_serial(g.csr, 5)
+        assert count_traversed_edges(g.csr, levels) == 0

@@ -1,0 +1,109 @@
+"""Tests for the structured mesh generators (single-node stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import bfs_serial, run_bfs
+from repro.graphs import Graph
+from repro.graphs.meshes import (
+    banded_edges,
+    grid2d_edges,
+    grid3d_edges,
+    mesh_graph,
+    power_grid_edges,
+)
+from repro.graphs.ordering import bandwidth as matrix_bandwidth
+
+
+class TestGrid2d:
+    def test_edge_count(self):
+        src, dst = grid2d_edges(4, 5)
+        # 4x5 lattice: 4*4 horizontal + 3*5 vertical = 31.
+        assert src.size == 31
+
+    def test_degrees_bounded_by_four(self):
+        g = Graph.from_edges(20, *grid2d_edges(4, 5), shuffle=False)
+        assert g.degrees().max() <= 4
+        # Corners have degree 2.
+        assert g.degrees().min() == 2
+
+    def test_periodic_wraps(self):
+        g = Graph.from_edges(16, *grid2d_edges(4, 4, periodic=True), shuffle=False)
+        assert np.all(g.degrees() == 4)  # torus is 4-regular
+
+    def test_diameter_is_manhattan(self):
+        g = Graph.from_edges(64, *grid2d_edges(8, 8), shuffle=False)
+        levels, _ = bfs_serial(g.csr, 0)
+        assert levels.max() == 14  # (8-1) + (8-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid2d_edges(0, 5)
+
+
+class TestGrid3d:
+    def test_edge_count(self):
+        src, dst = grid3d_edges(3, 3, 3)
+        assert src.size == 3 * (2 * 3 * 3)  # 3 axes x 2*9 links
+
+    def test_diameter(self):
+        g = Graph.from_edges(27, *grid3d_edges(3, 3, 3), shuffle=False)
+        levels, _ = bfs_serial(g.csr, 0)
+        assert levels.max() == 6  # 2+2+2
+
+    def test_periodic_regular(self):
+        g = Graph.from_edges(
+            64, *grid3d_edges(4, 4, 4, periodic=True), shuffle=False
+        )
+        assert np.all(g.degrees() == 6)
+
+
+class TestPowerGrid:
+    def test_connected_and_low_degree(self):
+        g = Graph.from_edges(2000, *power_grid_edges(2000, seed=1), shuffle=False)
+        levels, _ = bfs_serial(g.csr, 0)
+        assert (levels >= 0).all()
+        assert g.degrees().mean() < 6
+
+    def test_has_spurs(self):
+        g = Graph.from_edges(1000, *power_grid_edges(1000, seed=2), shuffle=False)
+        assert (g.degrees() == 1).sum() > 0
+
+    def test_high_diameter(self):
+        g = Graph.from_edges(4000, *power_grid_edges(4000, seed=3), shuffle=False)
+        levels, _ = bfs_serial(g.csr, 0)
+        assert levels.max() > 20  # ~sqrt(n) scaling, nothing like R-MAT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_grid_edges(2)
+        with pytest.raises(ValueError):
+            power_grid_edges(100, tie_fraction=1.5)
+
+
+class TestBanded:
+    def test_bandwidth_respected(self):
+        src, dst = banded_edges(500, bandwidth=8, seed=4)
+        g = Graph.from_edges(500, src, dst, shuffle=False)
+        assert matrix_bandwidth(g.csr) <= 8
+
+    def test_connected_via_backbone(self):
+        g = Graph.from_edges(300, *banded_edges(300, 4, seed=5), shuffle=False)
+        levels, _ = bfs_serial(g.csr, 0)
+        assert (levels >= 0).all()
+
+
+class TestMeshGraph:
+    @pytest.mark.parametrize("kind", ["power", "banded", "grid2d", "grid3d"])
+    def test_kinds_build_and_traverse(self, kind):
+        graph = mesh_graph(kind, 1500, seed=6)
+        source = int(graph.random_nonisolated_vertices(1, seed=1)[0])
+        ref = run_bfs(graph, source, "serial")
+        res = run_bfs(graph, source, "2d", nprocs=4, validate=True)
+        assert np.array_equal(res.levels, ref.levels)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown mesh kind"):
+            mesh_graph("klein-bottle", 100)

@@ -1,0 +1,128 @@
+"""Unit tests for the pure collective semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpsim import collectives as coll
+
+
+class TestAlltoallv:
+    def test_transposes_payloads(self):
+        payloads = [
+            [np.array([10 * i + j]) for j in range(3)] for i in range(3)
+        ]
+        out = coll.alltoallv(payloads)
+        for j in range(3):
+            for i in range(3):
+                assert out[j][i][0] == 10 * i + j
+
+    def test_none_becomes_empty(self):
+        out = coll.alltoallv([[None, np.array([1])], [np.array([2]), None]])
+        assert out[0][0].size == 0
+        assert out[1][1].size == 0
+        assert out[0][1][0] == 2
+        assert out[1][0][0] == 1
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="send buffers for group of 2"):
+            coll.alltoallv([[np.array([1])], [np.array([2]), np.array([3])]])
+
+    def test_2d_buffer_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            coll.alltoallv([[np.zeros((2, 2))]])
+
+
+class TestAllgatherv:
+    def test_everyone_gets_all_pieces(self):
+        payloads = [np.arange(i + 1) for i in range(4)]
+        out = coll.allgatherv(payloads)
+        for rank_out in out:
+            assert len(rank_out) == 4
+            for i, piece in enumerate(rank_out):
+                assert piece.size == i + 1
+
+    def test_empty_contributions(self):
+        out = coll.allgatherv([None, np.array([5])])
+        assert out[0][0].size == 0
+        assert out[1][1][0] == 5
+
+
+class TestAllreduce:
+    def test_named_ops(self):
+        values = [3, 1, 4, 1, 5]
+        assert coll.allreduce(values, "sum") == [14] * 5
+        assert coll.allreduce(values, "max") == [5] * 5
+        assert coll.allreduce(values, "min") == [1] * 5
+        assert coll.allreduce(values, "prod") == [60] * 5
+
+    def test_logical_ops(self):
+        assert coll.allreduce([True, False], "lor") == [True, True]
+        assert coll.allreduce([True, False], "land") == [False, False]
+
+    def test_callable_op(self):
+        out = coll.allreduce([np.array([1, 2]), np.array([3, 0])], np.maximum)
+        assert np.array_equal(out[0], [3, 2])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduction"):
+            coll.allreduce([1, 2], "xor")
+
+
+class TestBcastGatherScatter:
+    def test_bcast(self):
+        assert coll.bcast([None, "x", None], root=1) == ["x"] * 3
+
+    def test_bcast_bad_root(self):
+        with pytest.raises(ValueError, match="root"):
+            coll.bcast([1, 2], root=5)
+
+    def test_gather(self):
+        out = coll.gather([10, 20, 30], root=2)
+        assert out[0] is None and out[1] is None
+        assert out[2] == [10, 20, 30]
+
+    def test_scatter(self):
+        out = coll.scatter([["a", "b", "c"], None, None], root=0)
+        assert out == ["a", "b", "c"]
+
+    def test_scatter_wrong_cardinality(self):
+        with pytest.raises(ValueError, match="exactly 2 items"):
+            coll.scatter([["only-one"], None], root=0)
+
+
+class TestExchange:
+    def test_permutation_routing(self):
+        payloads = [(1, np.array([100])), (2, np.array([200])), (0, np.array([300]))]
+        out = coll.exchange(payloads)
+        assert out[1][0] == 100
+        assert out[2][0] == 200
+        assert out[0][0] == 300
+
+    def test_self_send_allowed(self):
+        out = coll.exchange([(0, np.array([7]))])
+        assert out[0][0] == 7
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError, match="not a permutation"):
+            coll.exchange([(0, None), (0, None)])
+
+
+class TestVolumeAccounting:
+    def test_alltoallv_excludes_self(self):
+        payload = [np.arange(3), np.arange(5), np.arange(7)]
+        assert coll.sent_words("alltoallv", payload) == 15
+        assert coll.sent_words("alltoallv", payload, self_rank=1) == 10
+
+    def test_exchange_self_is_free(self):
+        assert coll.sent_words("exchange", (2, np.arange(4)), self_rank=2) == 0
+        assert coll.sent_words("exchange", (1, np.arange(4)), self_rank=2) == 4
+
+    def test_barrier_is_zero(self):
+        assert coll.sent_words("barrier", None) == 0
+        assert coll.recv_words("barrier", None) == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            coll.sent_words("reduce_scatter", None)

@@ -1,0 +1,125 @@
+"""Failure injection and robustness tests for the SPMD engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpsim import run_spmd
+from repro.mpsim.engine import SimEngine
+
+
+class TestAbortPaths:
+    def test_exception_in_combine_phase(self):
+        """A rank crashing mid-collective releases peers blocked in it."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dies before the collective")
+            comm.allreduce(1)
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            run_spmd(4, fn)
+
+    def test_exception_in_subcommunicator(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if comm.rank == 1:
+                raise ValueError("odd group member dies")
+            sub.barrier()
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            run_spmd(4, fn)
+
+    def test_exception_while_peer_waits_on_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("sender never sends")
+            comm.recv(source=0)
+
+        with pytest.raises(RuntimeError, match="rank 0 failed"):
+            run_spmd(2, fn)
+
+    def test_multiple_failures_report_first(self):
+        def fn(comm):
+            raise KeyError(f"rank {comm.rank}")
+
+        with pytest.raises(RuntimeError, match="failed"):
+            run_spmd(3, fn)
+
+    def test_mismatched_collectives_abort_not_hang(self):
+        """Rank 0 calls a different collective than the others; the
+        deterministic protocol still exchanges payloads (the mismatch is
+        a semantic bug), but a hard *count* mismatch — one rank exiting
+        early — must abort via the timeout rather than hang."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                return None  # leaves the group short-handed
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="failed|Barrier"):
+            run_spmd(2, fn, timeout=0.5)
+
+
+class TestTimeout:
+    def test_timeout_breaks_deadlock(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)  # never sent
+            else:
+                comm.barrier()  # rank 0 never joins
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, fn, timeout=0.5)
+
+
+class TestEngineValidation:
+    def test_bad_nranks(self):
+        with pytest.raises(ValueError, match="nranks"):
+            SimEngine(0)
+
+    def test_results_preserved_before_failure(self):
+        """Ranks that returned before the abort keep their results...
+        but the run as a whole still raises."""
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("late failure")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(2, fn)
+
+    def test_non_collective_work_unaffected_by_abort_machinery(self):
+        def fn(comm):
+            data = np.arange(100)
+            comm.charge_compute(0.0, touched=float(data.sum()))
+            return int(data.sum())
+
+        res = run_spmd(3, fn)
+        assert res.returns == [4950] * 3
+        assert res.stats.counter("touched") == 3 * 4950
+
+
+class TestCommunicatorValidation:
+    def test_bad_destinations(self):
+        def fn(comm):
+            with pytest.raises(ValueError, match="out of range"):
+                comm.send(np.array([1]), dest=5)
+            with pytest.raises(ValueError, match="out of range"):
+                comm.recv(source=-1)
+            with pytest.raises(ValueError, match="out of range"):
+                comm.exchange(9, np.array([1]))
+            return True
+
+        assert all(run_spmd(2, fn).returns)
+
+    def test_alltoallv_wrong_buffer_count(self):
+        def fn(comm):
+            with pytest.raises(ValueError, match="send buffers"):
+                comm.alltoallv([np.array([1])])  # needs comm.size buffers
+            return True
+
+        assert all(run_spmd(3, fn).returns)

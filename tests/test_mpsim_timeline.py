@@ -1,0 +1,90 @@
+"""Tests for timeline recording and the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import FRANKLIN, NetworkCostModel
+from repro.mpsim import run_spmd
+from repro.mpsim.timeline import GLYPHS, TimelineEvent, render_timeline
+
+
+def _workload(comm):
+    comm.charge_compute(1e-5 * (comm.rank + 1))
+    comm.alltoallv([np.arange(100)] * comm.size)
+    comm.allgatherv(np.arange(50))
+    comm.allreduce(1)
+    return None
+
+
+def _timed_run(**kwargs):
+    return run_spmd(
+        3,
+        _workload,
+        cost_model=NetworkCostModel(FRANKLIN, total_ranks=3),
+        **kwargs,
+    )
+
+
+class TestRecording:
+    def test_disabled_by_default(self):
+        res = _timed_run()
+        assert all(not r.events for r in res.stats.comm)
+
+    def test_events_cover_every_collective(self):
+        res = _timed_run(record_timeline=True)
+        for rank_stats in res.stats.comm:
+            kinds = [e.kind for e in rank_stats.events]
+            assert kinds == ["alltoallv", "allgatherv", "allreduce"]
+
+    def test_event_times_ordered_and_positive(self):
+        res = _timed_run(record_timeline=True)
+        for rank_stats in res.stats.comm:
+            for prev, cur in zip(rank_stats.events, rank_stats.events[1:]):
+                assert cur.t_arrive >= prev.t_complete - 1e-15
+            assert all(e.duration >= 0 for e in rank_stats.events)
+
+    def test_event_durations_sum_to_mpi_time(self):
+        res = _timed_run(record_timeline=True)
+        for rank, rank_stats in enumerate(res.stats.comm):
+            total = sum(e.duration for e in rank_stats.events)
+            assert total == pytest.approx(res.stats.clocks[rank].mpi_time)
+
+    def test_waiting_visible_in_spans(self):
+        # Rank 0 does the least compute, so it waits longest at the first
+        # collective: its span must start earliest and end with the rest.
+        res = _timed_run(record_timeline=True)
+        first = [rs.events[0] for rs in res.stats.comm]
+        assert first[0].t_arrive < first[2].t_arrive
+        assert first[0].t_complete == pytest.approx(first[2].t_complete)
+
+
+class TestRenderer:
+    def test_renders_rows_and_legend(self):
+        res = _timed_run(record_timeline=True)
+        chart = render_timeline(res.stats, width=40)
+        lines = chart.splitlines()
+        assert sum(1 for ln in lines if ln.startswith("rank ")) == 3
+        assert "legend:" in lines[-1]
+        assert "a" in chart and "g" in chart and "r" in chart
+
+    def test_rank_subset(self):
+        res = _timed_run(record_timeline=True)
+        chart = render_timeline(res.stats, width=30, ranks=[1])
+        assert chart.count("rank ") == 1
+
+    def test_untimed_run_rejected(self):
+        res = run_spmd(2, lambda comm: comm.barrier())
+        with pytest.raises(ValueError, match="nothing to render"):
+            render_timeline(res.stats)
+
+    def test_unrecorded_run_rejected(self):
+        res = _timed_run()  # timed but no events
+        with pytest.raises(ValueError, match="record_timeline"):
+            render_timeline(res.stats)
+
+    def test_glyph_table_consistent(self):
+        assert len(set(GLYPHS.values())) == len(GLYPHS)
+        event = TimelineEvent("alltoallv", 0.0, 1.0, 10.0)
+        assert event.duration == 1.0

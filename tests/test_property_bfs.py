@@ -1,0 +1,116 @@
+"""Property-based tests for BFS correctness on arbitrary graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bfs_serial, run_bfs, validate_bfs
+from repro.graphs import Graph
+
+networkx = pytest.importorskip("networkx")
+
+
+@st.composite
+def small_graphs(draw):
+    """Random graph + source: up to 40 vertices, arbitrary edges."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=120))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    source = draw(st.integers(0, n - 1))
+    shuffle = draw(st.booleans())
+    seed = draw(st.integers(0, 2**16))
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    graph = Graph.from_edges(n, src, dst, shuffle=shuffle, seed=seed)
+    return graph, source, edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_serial_levels_match_networkx(case):
+    """BFS levels are exactly NetworkX shortest-path lengths."""
+    graph, source, edges = case
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(range(graph.n))
+    nx_graph.add_edges_from((u, v) for u, v in edges if u != v)
+    expected = networkx.single_source_shortest_path_length(nx_graph, source)
+
+    res = run_bfs(graph, source, "serial")
+    for v in range(graph.n):
+        if v in expected:
+            assert res.levels[v] == expected[v], f"vertex {v}"
+        else:
+            assert res.levels[v] == -1, f"vertex {v}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), st.sampled_from(["1d", "2d", "pbgl", "graph500-ref"]))
+def test_distributed_equals_serial(case, algorithm):
+    """Every distributed variant produces the serial levels and parents."""
+    graph, source, _ = case
+    ref = run_bfs(graph, source, "serial")
+    res = run_bfs(graph, source, algorithm, nprocs=4)
+    assert np.array_equal(res.levels, ref.levels)
+    assert np.array_equal(res.parents, ref.parents)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_output_passes_graph500_validation(case):
+    graph, source, _ = case
+    src_internal = int(np.asarray(graph.to_internal(source)))
+    levels, parents = bfs_serial(graph.csr, src_internal)
+    validate_bfs(graph.csr, src_internal, levels, parents)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_tree_edges_span_one_level(case):
+    """Invariant: every BFS tree edge advances the level by exactly one,
+    and every graph edge spans at most one level."""
+    graph, source, _ = case
+    res = run_bfs(graph, source, "serial")
+    levels, parents = res.levels, res.parents
+    for v in range(graph.n):
+        if levels[v] > 0:
+            assert levels[parents[v]] == levels[v] - 1
+    internal_levels = graph.relabel_level_array  # noqa: B018 - doc only
+    csr = graph.csr
+    rows = np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees())
+    lv_int, _ = bfs_serial(csr, int(np.asarray(graph.to_internal(source))))
+    both = (lv_int[rows] >= 0) & (lv_int[csr.indices] >= 0)
+    assert np.all(np.abs(lv_int[rows[both]] - lv_int[csr.indices[both]]) <= 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_reachable_set_independent_of_partitioning(n, seed):
+    """The reachable set from a fixed source never depends on rank count."""
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 3 * n))
+    graph = Graph.from_edges(
+        n,
+        rng.integers(0, n, m).astype(np.int64),
+        rng.integers(0, n, m).astype(np.int64),
+        shuffle=False,
+    )
+    source = int(rng.integers(0, n))
+    baseline = run_bfs(graph, source, "1d", nprocs=1).levels >= 0
+    for nprocs in (2, 4, 9):
+        reached = run_bfs(graph, source, "2d" if nprocs == 9 else "1d", nprocs=nprocs).levels >= 0
+        assert np.array_equal(reached, baseline)

@@ -1,0 +1,100 @@
+"""Tests for triangle-only symmetric storage (Section 7 exploration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import DCSC, spmsv_heap
+from repro.sparse.symmetric import SymmetricDCSC, spmsv_symmetric
+
+
+def symmetric_coo(n, nnz, seed):
+    rng = np.random.default_rng(seed)
+    r = rng.integers(0, n, nnz)
+    c = rng.integers(0, n, nnz)
+    rows = np.concatenate([r, c])
+    cols = np.concatenate([c, r])
+    return rows, cols
+
+
+class TestSymmetricDCSC:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            SymmetricDCSC(DCSC.from_coo(3, 4, [1], [0]))
+
+    def test_rejects_upper_entries(self):
+        with pytest.raises(ValueError, match="row >= col"):
+            SymmetricDCSC(DCSC.from_coo(4, 4, [0], [2]))
+
+    def test_round_trip_through_full(self):
+        rows, cols = symmetric_coo(30, 100, seed=1)
+        full = DCSC.from_coo(30, 30, rows, cols)
+        sym = SymmetricDCSC.from_full(full)
+        back = sym.to_full()
+        assert np.array_equal(back.ir, full.ir)
+        assert np.array_equal(back.jc, full.jc)
+
+    def test_storage_roughly_halves(self):
+        rows, cols = symmetric_coo(200, 2000, seed=2)
+        full = DCSC.from_coo(200, 200, rows, cols)
+        sym = SymmetricDCSC.from_full(full)
+        full_words = full.ir.size + full.jc.size + full.cp.size
+        # The triangle keeps a bit over half (diagonal + pointer arrays).
+        assert sym.memory_words < 0.65 * full_words
+        assert sym.logical_nnz == full.nnz
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_extraction_equals_full_matrix(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        rows, cols = symmetric_coo(n, int(rng.integers(0, 4 * n)), seed + 50)
+        full = DCSC.from_coo(n, n, rows, cols)
+        sym = SymmetricDCSC.from_full(full)
+        k = int(rng.integers(0, n))
+        fi = np.unique(rng.integers(0, n, size=k)) if k else np.empty(0, np.int64)
+        fv = fi + 1
+        i_full, v_full, _ = spmsv_heap(full, fi, fv)
+        i_sym, v_sym, work = spmsv_symmetric(sym, fi, fv)
+        assert np.array_equal(i_full, i_sym)
+        assert np.array_equal(v_full, v_sym)
+        assert work.scanned == sym.stored_nnz  # the row-pass price
+
+    def test_diagonal_entries_once(self):
+        # Self-paired entries must not be double-emitted.
+        sym = SymmetricDCSC.from_coo(4, np.array([2, 1]), np.array([2, 0]))
+        fi = np.array([2], dtype=np.int64)
+        rows, vals, _ = sym.extract_columns(fi, np.array([9]))
+        assert np.array_equal(np.sort(rows), [2])
+
+    def test_empty_frontier(self):
+        sym = SymmetricDCSC.from_coo(5, np.array([1]), np.array([0]))
+        rows, vals, work = sym.extract_columns(
+            np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert rows.size == 0
+        assert work.candidates == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 40),
+    st.integers(0, 120),
+    st.integers(0, 2**16),
+)
+def test_symmetric_spmsv_property(n, nnz, seed):
+    """Triangle storage is semantically invisible: any symmetric matrix,
+    any frontier, identical SpMSV output."""
+    rows, cols = symmetric_coo(n, nnz, seed)
+    full = DCSC.from_coo(n, n, rows, cols)
+    sym = SymmetricDCSC.from_full(full)
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(0, n))
+    fi = np.unique(rng.integers(0, n, size=k)) if k else np.empty(0, np.int64)
+    fv = fi + 7
+    i_full, v_full, _ = spmsv_heap(full, fi, fv)
+    i_sym, v_sym, _ = spmsv_symmetric(sym, fi, fv)
+    assert np.array_equal(i_full, i_sym)
+    assert np.array_equal(v_full, v_sym)

@@ -20,6 +20,7 @@ from repro.core import (
     ALGORITHMS,
     BFSResult,
     bfs_1d,
+    bfs_1d_dirop,
     bfs_2d,
     bfs_serial,
     count_traversed_edges,
@@ -55,6 +56,7 @@ __all__ = [
     "ALGORITHMS",
     "BFSResult",
     "bfs_1d",
+    "bfs_1d_dirop",
     "bfs_2d",
     "bfs_serial",
     "count_traversed_edges",

@@ -43,6 +43,25 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--machine", default="hopper")
     group.add_argument("--nbfs", type=int, default=8)
     group.add_argument("--seed", type=int, default=0)
+    group.add_argument(
+        "--dirop-alpha",
+        type=float,
+        default=None,
+        help=(
+            "1d-dirop top-down->bottom-up threshold: switch when frontier "
+            "edges exceed 1/alpha of the unexplored edges (default: the "
+            "tuned DIROP_ALPHA)"
+        ),
+    )
+    group.add_argument(
+        "--dirop-beta",
+        type=float,
+        default=None,
+        help=(
+            "1d-dirop bottom-up->top-down threshold: switch back when the "
+            "frontier shrinks below n/beta vertices (default: DIROP_BETA)"
+        ),
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -82,6 +101,8 @@ def main(argv: list[str] | None = None) -> int:
             machine=args.machine,
             nbfs=args.nbfs,
             seed=args.seed,
+            dirop_alpha=args.dirop_alpha,
+            dirop_beta=args.dirop_beta,
         )
         print(result.report())
         return 0

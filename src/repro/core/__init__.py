@@ -9,6 +9,10 @@
   partitioning, expand (``Allgatherv`` over processor columns) / fold
   (``Alltoallv`` over processor rows) phases, DCSC blocks and the SPA/heap
   SpMSV polyalgorithm;
+* :func:`~repro.core.bfs_dirop.bfs_1d_dirop` — direction-optimizing 1D:
+  per-level switching between the top-down exchange and a bottom-up
+  sweep against an ``Allgatherv``-assembled frontier bitmap, preserving
+  the (select, max) parents via early-exiting reverse edge scans;
 * :func:`~repro.core.runner.run_bfs` — one-call driver: partitions the
   graph, launches the SPMD simulation, reassembles and (optionally)
   validates the result, and reports TEPS plus modeled time breakdowns.
@@ -16,6 +20,7 @@
 
 from repro.core.bfs1d import bfs_1d
 from repro.core.bfs2d import bfs_2d
+from repro.core.bfs_dirop import bfs_1d_dirop
 from repro.core.partition import Decomp2D, Partition1D
 from repro.core.runner import ALGORITHMS, BFSResult, run_bfs
 from repro.core.serial import bfs_serial
@@ -23,6 +28,7 @@ from repro.core.validate import count_traversed_edges, validate_bfs
 
 __all__ = [
     "bfs_1d",
+    "bfs_1d_dirop",
     "bfs_2d",
     "Decomp2D",
     "Partition1D",

@@ -1,0 +1,269 @@
+"""Direction-optimizing distributed BFS on the 1D partition.
+
+The paper's cost model shows BFS time is dominated by the few
+hub-dominated middle levels of an R-MAT traversal, where the frontier
+touches almost every edge.  The direction-optimizing refinement (Beamer
+et al.; applied to distributed memory in the follow-up work of Buluc,
+Beamer and Madduri) replaces the top-down candidate exchange on those
+levels with a *bottom-up* sweep:
+
+* **expand** — owners pack their local frontier into a 64-bit bitmap and
+  assemble the global frontier with one ``Allgatherv`` (``~n/64`` words
+  on the wire, charged at ``beta_{N,ag}``), instead of shipping
+  per-edge (vertex, parent) pairs through the ``Alltoallv``;
+* **fold** — each owner scans its *unvisited* local vertices against the
+  bitmap, walking every sorted adjacency list in reverse and stopping at
+  the first frontier neighbour.  The reverse order makes the early exit
+  land on the *maximum* frontier neighbour, which is exactly the
+  (select, max) parent the top-down dedup would have chosen — so the
+  variant stays bit-identical to every other algorithm in the repo.
+
+Direction choice is collective and deterministic: each level, ranks
+``Allreduce`` the global frontier size, the frontier's incident-edge
+count, and the unexplored-edge count, then apply the shared
+``alpha``/``beta`` density predicates from :mod:`repro.core.frontier`.
+Directed graphs (no symmetry) disable the bottom-up sweep, since
+scanning out-adjacencies cannot discover in-neighbours.
+
+The function is an SPMD rank body: run it under
+:func:`repro.mpsim.run_spmd`, one call per simulated rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.frontier import (
+    build_send_buffers,
+    dedup_candidates,
+    pack_frontier_bitmap,
+    should_switch_bottom_up,
+    should_switch_top_down,
+    unpack_frontier_bitmap,
+    unpack_pairs,
+)
+from repro.core.partition import Partition1D
+from repro.graphs.csr import CSR
+from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, Charger
+from repro.mpsim.communicator import Communicator
+
+TOP_DOWN = "top-down"
+BOTTOM_UP = "bottom-up"
+
+
+def _topdown_level(
+    comm, csr, part, charger, levels, parents, frontier, lo, nloc, level,
+    dedup_sends, threads,
+):
+    """One top-down level: Algorithm 2's enumerate/dedup/exchange/update."""
+    targets, sources = csr.gather(frontier)
+    charger.random(frontier.size, ws_words=2 * max(nloc, 1))
+    charger.stream(2.0 * targets.size, edges_scanned=float(targets.size))
+
+    candidates = int(targets.size)
+    if dedup_sends:
+        targets, sources = dedup_candidates(targets, sources)
+        charger.sort(candidates)
+    owners = part.owner_of(targets)
+    send = build_send_buffers(targets, sources, owners, comm.size)
+    charger.intops(2.0 * targets.size)
+    charger.stream(2.0 * targets.size)
+    charger.count(candidates=float(candidates), unique_sends=float(targets.size))
+
+    recv, _recv_counts = comm.alltoallv_concat(send)
+
+    rv, rp = unpack_pairs(recv)
+    charger.random(float(rv.size), ws_words=max(nloc, 1))
+    unvisited = levels[rv - lo] < 0
+    rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+    levels[rv - lo] = level
+    parents[rv - lo] = rp
+    if threads > 1:
+        charger.thread_merge(float(rv.size))
+    charger.stream(float(rv.size))
+    return rv, {"candidates": candidates, "words_sent": int(2 * targets.size)}
+
+
+def _bottomup_level(
+    comm, csr, part, charger, levels, parents, frontier, lo, nloc, level, threads,
+):
+    """One bottom-up level: bitmap expand + early-exit reverse edge scans."""
+    # Expand: every owner contributes its local frontier bitmap; the
+    # Allgatherv assembles the global one (~n/64 words received per rank,
+    # priced at beta_{N,ag} by the collective cost model).
+    words = pack_frontier_bitmap(frontier, lo, nloc)
+    charger.stream(float(words.size) + float(frontier.size))
+    pieces = comm.allgatherv(words, concat=False)
+    bitmap = np.concatenate(
+        [
+            unpack_frontier_bitmap(piece, part.local_count(rank))
+            for rank, piece in enumerate(pieces)
+        ]
+    )
+    charger.stream(float(bitmap.size) / 64.0)
+
+    # Fold: enumerate unvisited owned vertices and reverse-scan their
+    # sorted adjacencies against the bitmap.  The last frontier hit of a
+    # sorted list is the maximum frontier neighbour, so the early exit
+    # reproduces the (select, max) parent of the top-down dedup.
+    unvisited = np.flatnonzero(levels < 0) + lo
+    charger.stream(float(nloc))
+    deg = csr.indptr[unvisited + 1] - csr.indptr[unvisited]
+    active = unvisited[deg > 0]
+    counts = deg[deg > 0]
+    charger.random(float(active.size), ws_words=2 * max(nloc, 1))
+    targets, _sources = csr.gather(active)
+    if active.size:
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        hit_pos = np.where(bitmap[targets], np.arange(targets.size), -1)
+        last_hit = np.maximum.reduceat(hit_pos, starts)
+        has_parent = last_hit >= 0
+        new = active[has_parent]
+        new_parents = targets[last_hit[has_parent]]
+        # Reverse scan visits positions [last_hit, end) before exiting —
+        # the whole list when no frontier neighbour exists.
+        scanned = float(np.where(has_parent, ends - last_hit, counts).sum())
+    else:
+        new = np.empty(0, dtype=np.int64)
+        new_parents = np.empty(0, dtype=np.int64)
+        scanned = 0.0
+    charger.random(scanned, ws_words=max(1.0, float(bitmap.size) / 64.0))
+    charger.stream(2.0 * scanned, edges_scanned=scanned)
+    charger.count(candidates=scanned)
+
+    levels[new - lo] = level
+    parents[new - lo] = new_parents
+    if threads > 1:
+        charger.thread_merge(float(new.size))
+    charger.stream(float(new.size))
+    return new, {"candidates": int(scanned), "words_sent": int(words.size)}
+
+
+def bfs_1d_dirop(
+    comm: Communicator,
+    csr: CSR,
+    source: int,
+    machine=None,
+    threads: int = 1,
+    dedup_sends: bool = True,
+    alpha: float | None = None,
+    beta: float | None = None,
+    symmetric: bool = True,
+    trace: bool = False,
+) -> dict:
+    """Rank body of the direction-optimizing 1D algorithm.
+
+    Parameters
+    ----------
+    comm / csr / source / machine / threads / dedup_sends:
+        As in :func:`repro.core.bfs1d.bfs_1d`; ``dedup_sends`` applies to
+        the top-down levels only.
+    alpha:
+        Top-down -> bottom-up density threshold (default
+        :data:`~repro.model.costmodel.DIROP_ALPHA`): switch when the
+        frontier's incident edges exceed ``1/alpha`` of the unexplored
+        edges.
+    beta:
+        Bottom-up -> top-down threshold (default
+        :data:`~repro.model.costmodel.DIROP_BETA`): switch back when the
+        frontier shrinks below ``n / beta`` vertices.
+    symmetric:
+        Whether the adjacency structure is symmetric; directed inputs
+        pin the traversal to top-down (bottom-up needs in-edges).
+    trace:
+        Record a per-level profile including which ``direction`` ran.
+
+    Returns
+    -------
+    dict with the rank's vertex range, local ``levels``/``parents`` arrays
+    and the number of levels executed.
+    """
+    alpha = DIROP_ALPHA if alpha is None else alpha
+    beta = DIROP_BETA if beta is None else beta
+    part = Partition1D(csr.n, comm.size)
+    lo, hi = part.range_of(comm.rank)
+    nloc = hi - lo
+    charger = Charger(comm, machine=machine, threads=threads)
+    degrees = csr.indptr[lo + 1 : hi + 1] - csr.indptr[lo:hi]
+
+    levels = np.full(nloc, -1, dtype=np.int64)
+    parents = np.full(nloc, -1, dtype=np.int64)
+    unexplored_edges = int(degrees.sum())
+    if lo <= source < hi:
+        levels[source - lo] = 0
+        parents[source - lo] = source
+        frontier = np.array([source], dtype=np.int64)
+        unexplored_edges -= int(degrees[source - lo])
+    else:
+        frontier = np.empty(0, dtype=np.int64)
+
+    def frontier_stats(front: np.ndarray) -> np.ndarray:
+        fedges = int(degrees[front - lo].sum()) if front.size else 0
+        return np.array(
+            [front.size, fedges, unexplored_edges], dtype=np.int64
+        )
+
+    g_front, g_fedges, g_unexplored = (
+        int(x) for x in comm.allreduce(frontier_stats(frontier))
+    )
+
+    level = 1
+    direction = TOP_DOWN
+    level_trace: list[dict] = []
+    while True:
+        # Direction choice: collective state only, so every rank flips in
+        # lockstep without extra communication.
+        if symmetric:
+            if direction == TOP_DOWN and should_switch_bottom_up(
+                g_fedges, g_unexplored, alpha
+            ):
+                direction = BOTTOM_UP
+            elif direction == BOTTOM_UP and should_switch_top_down(
+                g_front, csr.n, beta
+            ):
+                direction = TOP_DOWN
+
+        frontier_in = int(frontier.size)
+        if direction == TOP_DOWN:
+            frontier, info = _topdown_level(
+                comm, csr, part, charger, levels, parents, frontier,
+                lo, nloc, level, dedup_sends, threads,
+            )
+        else:
+            frontier, info = _bottomup_level(
+                comm, csr, part, charger, levels, parents, frontier,
+                lo, nloc, level, threads,
+            )
+        unexplored_edges -= int(degrees[frontier - lo].sum()) if frontier.size else 0
+
+        charger.level_overhead()
+        if trace:
+            level_trace.append(
+                {
+                    "level": level,
+                    "frontier": frontier_in,
+                    "candidates": info["candidates"],
+                    "words_sent": info["words_sent"],
+                    "discovered": int(frontier.size),
+                    "direction": direction,
+                }
+            )
+
+        g_front, g_fedges, g_unexplored = (
+            int(x) for x in comm.allreduce(frontier_stats(frontier))
+        )
+        if g_front == 0:
+            break
+        level += 1
+
+    result = {
+        "lo": lo,
+        "hi": hi,
+        "levels": levels,
+        "parents": parents,
+        "nlevels": level,
+    }
+    if trace:
+        result["trace"] = level_trace
+    return result

@@ -4,11 +4,20 @@ These are the vectorized counterparts of the per-edge loops in
 Algorithms 1-3: candidate deduplication with deterministic (select, max)
 parent resolution, interleaved (vertex, parent) wire format for the
 exchange buffers, and destination bucketing for the all-to-all.
+
+The direction-optimizing 1D variant adds frontier-density bookkeeping:
+a packed 64-bit frontier bitmap (the ``Allgatherv`` payload of the
+bottom-up expand) and the Beamer-style density predicates that decide
+when the traversal flips between top-down and bottom-up sweeps.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: Bits per bitmap word; the paper counts 64-bit words, so one frontier
+#: bitmap costs ``ceil(n_local / 64)`` words on the wire.
+BITMAP_WORD_BITS = 64
 
 
 def dedup_candidates(
@@ -96,6 +105,72 @@ def build_send_buffers(
         )
         for j in range(nbuckets)
     ]
+
+
+def bitmap_words(nbits: int) -> int:
+    """Wire words of a packed bitmap over ``nbits`` vertices."""
+    if nbits < 0:
+        raise ValueError(f"nbits must be >= 0, got {nbits}")
+    return (nbits + BITMAP_WORD_BITS - 1) // BITMAP_WORD_BITS
+
+
+def pack_frontier_bitmap(vertices: np.ndarray, lo: int, nbits: int) -> np.ndarray:
+    """Pack a local frontier into 64-bit words for the bottom-up expand.
+
+    ``vertices`` are global ids inside ``[lo, lo + nbits)``; bit
+    ``v - lo`` of the output is set for each frontier vertex.  The packed
+    ``uint64`` array is what each owner contributes to the ``Allgatherv``
+    that assembles the global frontier bitmap.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size and (vertices.min() < lo or vertices.max() >= lo + nbits):
+        raise ValueError(f"vertices out of owned range [{lo}, {lo + nbits})")
+    bits = np.zeros(nbits, dtype=np.uint8)
+    bits[vertices - lo] = 1
+    packed = np.packbits(bits, bitorder="little")
+    out = np.zeros(8 * bitmap_words(nbits), dtype=np.uint8)
+    out[: packed.size] = packed
+    return out.view(np.uint64)
+
+
+def unpack_frontier_bitmap(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_frontier_bitmap`: words -> boolean mask."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.size != bitmap_words(nbits):
+        raise ValueError(
+            f"expected {bitmap_words(nbits)} words for {nbits} bits, got {words.size}"
+        )
+    if nbits == 0:
+        return np.zeros(0, dtype=bool)
+    return np.unpackbits(
+        words.view(np.uint8), count=nbits, bitorder="little"
+    ).astype(bool)
+
+
+def should_switch_bottom_up(
+    frontier_edges: int, unexplored_edges: int, alpha: float
+) -> bool:
+    """Top-down -> bottom-up predicate (Beamer's ``m_f > m_u / alpha``).
+
+    ``frontier_edges`` is the global number of edges incident to the
+    current frontier, ``unexplored_edges`` the edges incident to still
+    unvisited vertices.  Larger ``alpha`` switches earlier.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    return frontier_edges * alpha > unexplored_edges
+
+
+def should_switch_top_down(frontier_vertices: int, n: int, beta: float) -> bool:
+    """Bottom-up -> top-down predicate (Beamer's ``n_f < n / beta``).
+
+    Once the frontier thins out, scanning every unvisited vertex against
+    it stops paying; smaller ``beta`` raises the ``n / beta`` threshold
+    and switches back earlier.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be > 0, got {beta}")
+    return frontier_vertices * beta < n
 
 
 def bucket_by_owner(

@@ -17,11 +17,12 @@ import numpy as np
 
 from repro.core.bfs1d import bfs_1d
 from repro.core.bfs2d import bfs_2d, build_2d_blocks
+from repro.core.bfs_dirop import bfs_1d_dirop
 from repro.core.partition import Decomp2D
 from repro.core.serial import bfs_serial
 from repro.core.validate import count_traversed_edges, validate_bfs
 from repro.graphs.graph import Graph
-from repro.model.costmodel import NetworkCostModel
+from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, NetworkCostModel
 from repro.model.machine import HOPPER, get_machine
 from repro.mpsim.engine import run_spmd
 from repro.mpsim.stats import SimStats
@@ -31,6 +32,8 @@ ALGORITHMS: dict[str, tuple[str, bool]] = {
     "serial": ("serial", False),
     "1d": ("1d", False),
     "1d-hybrid": ("1d", True),
+    "1d-dirop": ("1d-dirop", False),
+    "1d-dirop-hybrid": ("1d-dirop", True),
     "2d": ("2d", False),
     "2d-hybrid": ("2d", True),
     "pbgl": ("pbgl", False),
@@ -107,6 +110,8 @@ def run_bfs(
     vector_dist: str = "2d",
     modeled_cores: int | None = None,
     grid_shape: tuple[int, int] | None = None,
+    dirop_alpha: float | None = None,
+    dirop_beta: float | None = None,
     validate: bool = False,
     trace: bool = False,
 ) -> BFSResult:
@@ -120,7 +125,8 @@ def run_bfs(
         Vertex id in the caller's (original) labeling.
     algorithm:
         One of :data:`ALGORITHMS`: ``"serial"``, ``"1d"``, ``"1d-hybrid"``,
-        ``"2d"``, ``"2d-hybrid"``, ``"pbgl"``, ``"graph500-ref"``.
+        ``"1d-dirop"``, ``"1d-dirop-hybrid"``, ``"2d"``, ``"2d-hybrid"``,
+        ``"pbgl"``, ``"graph500-ref"``.
     nprocs:
         Simulated MPI rank count.  2D variants use the closest square
         grid not exceeding ``nprocs`` (the paper's convention).
@@ -146,6 +152,13 @@ def run_bfs(
         overriding the closest-square default — the paper's general
         rectangular formulation (square grids keep the cheaper pairwise
         vector transpose).
+    dirop_alpha / dirop_beta:
+        Direction-optimizing switching thresholds (the ``1d-dirop``
+        family only): switch to bottom-up when the frontier's incident
+        edges exceed ``1/alpha`` of the unexplored edges, back to
+        top-down when the frontier shrinks below ``n / beta``.  Default
+        to :data:`~repro.model.costmodel.DIROP_ALPHA` /
+        :data:`~repro.model.costmodel.DIROP_BETA`.
     validate:
         Run serial reference + Graph 500 validation on the output.
     trace:
@@ -174,7 +187,7 @@ def run_bfs(
             if machine is not None
             else None
         )
-        if family in ("1d", "pbgl", "graph500-ref"):
+        if family in ("1d", "1d-dirop", "pbgl", "graph500-ref"):
             nranks = nprocs
             if family == "1d":
                 spmd = run_spmd(
@@ -185,6 +198,21 @@ def run_bfs(
                     machine=machine,
                     threads=threads,
                     dedup_sends=dedup_sends,
+                    trace=trace,
+                    cost_model=cost_model,
+                )
+            elif family == "1d-dirop":
+                spmd = run_spmd(
+                    nranks,
+                    bfs_1d_dirop,
+                    graph.csr,
+                    src_internal,
+                    machine=machine,
+                    threads=threads,
+                    dedup_sends=dedup_sends,
+                    alpha=dirop_alpha,
+                    beta=dirop_beta,
+                    symmetric=not graph.directed,
                     trace=trace,
                     cost_model=cost_model,
                 )
@@ -285,13 +313,20 @@ def run_bfs(
             "kernel": kernel,
             "dedup_sends": dedup_sends,
             "vector_dist": vector_dist,
+            "dirop_alpha": DIROP_ALPHA if dirop_alpha is None else dirop_alpha,
+            "dirop_beta": DIROP_BETA if dirop_beta is None else dirop_beta,
             "level_profile": level_profile,
         },
     )
 
 
 def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
-    """Sum per-level counters across ranks (levels are lockstep)."""
+    """Sum per-level counters across ranks (levels are lockstep).
+
+    The direction-optimizing variant additionally records which
+    ``direction`` a level ran in; the choice is collective, so the first
+    rank's value stands for the level.
+    """
     nlevels = max(len(t) for t in rank_traces)
     merged: list[dict] = []
     for i in range(nlevels):
@@ -301,5 +336,7 @@ def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
             if i < len(t):
                 for key in ("frontier", "candidates", "words_sent", "discovered"):
                     entry[key] += t[i][key]
+                if "direction" in t[i] and "direction" not in entry:
+                    entry["direction"] = t[i]["direction"]
         merged.append(entry)
     return merged

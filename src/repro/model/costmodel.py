@@ -48,6 +48,20 @@ LEVEL_THREAD_OVERHEAD = 2e-5
 #: high-diameter traversals.
 PARALLEL_GRAIN_SECONDS = 1e-3
 
+#: Default top-down -> bottom-up switching threshold of the
+#: direction-optimizing 1D variant: flip to the bottom-up sweep once the
+#: frontier's incident edges exceed ``1/alpha`` of the edges incident to
+#: still-unvisited vertices.  14 is the value tuned by Beamer et al.
+#: (the follow-up direction-optimizing BFS work); the `abl-dirop`
+#: experiment sweeps it.
+DIROP_ALPHA = 14.0
+
+#: Default bottom-up -> top-down switching threshold: return to the
+#: top-down candidate exchange once the frontier holds fewer than
+#: ``n / beta`` vertices, where scanning every unvisited vertex against
+#: the frontier bitmap no longer pays for the saved edge traffic.
+DIROP_BETA = 24.0
+
 
 class NetworkCostModel(CollectiveCostModel):
     """Prices collectives with the Section 5 alpha-beta network model."""

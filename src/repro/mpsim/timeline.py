@@ -10,9 +10,13 @@ off-diagonal ranks parked inside the fold's all-to-all):
     rank 1 |..==a===g.aaaa...r.|
 
 Letters mark time inside a collective (``a`` = alltoallv, ``g`` =
-allgatherv, ``r`` = allreduce, ``x`` = exchange, ``b`` = barrier, ``o`` =
-other); ``.`` is local computation, and the span between arrival and the
-collective's completion includes any waiting for slower ranks.
+allgatherv — also the direction-optimizing bottom-up expand's frontier
+bitmap broadcast, ``r`` = allreduce, ``x`` = exchange, ``b`` = barrier,
+``o`` = other); ``.`` is local computation, and the span between arrival
+and the collective's completion includes any waiting for slower ranks.
+A direction-optimizing 1D timeline is easy to read off the glyphs: dense
+bottom-up middle levels show short ``g`` spans where top-down levels
+would park every rank in a wide ``a``.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ GLYPHS = {
     "exchange": "x",
     "barrier": "b",
     "bcast": "c",
+    "gather": "v",
+    "scatter": "s",
     "p2p": "p",
 }
 

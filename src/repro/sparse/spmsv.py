@@ -123,9 +123,16 @@ def choose_spmsv_kernel(
     """Polyalgorithm predicate (Section 4.2).
 
     Prefers the SPA below the Figure-3 crossover, unless its dense vector
-    would blow the per-core memory budget.
+    would blow the per-core memory budget.  A budget can only be enforced
+    against a known SPA working set, so passing ``memory_budget_words``
+    without ``spa_words`` is an error rather than a silent no-op.
     """
-    if memory_budget_words is not None and spa_words is not None:
+    if memory_budget_words is not None:
+        if spa_words is None:
+            raise ValueError(
+                "memory_budget_words requires spa_words (the SPA working-set "
+                "size) to be enforceable"
+            )
         if spa_words > memory_budget_words:
             return "heap"
     return "spa" if modeled_cores < SPA_HEAP_CROSSOVER_CORES else "heap"
@@ -138,11 +145,21 @@ def spmsv(
     semiring: Semiring = SELECT_MAX,
     kernel: str = "auto",
     modeled_cores: int = 1,
+    memory_budget_words: int | None = None,
     spa: SPA | None = None,
 ) -> tuple[np.ndarray, np.ndarray, SpMSVWork]:
-    """Dispatching SpMSV: ``kernel`` in {"auto", "spa", "heap"}."""
+    """Dispatching SpMSV: ``kernel`` in {"auto", "spa", "heap"}.
+
+    ``memory_budget_words`` caps the dense accumulator: ``"auto"`` falls
+    back to the heap kernel when this block's SPA working set
+    (``block.nrows`` words) would exceed it.
+    """
     if kernel == "auto":
-        kernel = choose_spmsv_kernel(modeled_cores, spa_words=block.nrows)
+        kernel = choose_spmsv_kernel(
+            modeled_cores,
+            spa_words=block.nrows,
+            memory_budget_words=memory_budget_words,
+        )
     if kernel == "spa":
         return spmsv_spa(block, frontier_idx, frontier_val, semiring, spa=spa)
     if kernel == "heap":

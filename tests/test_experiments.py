@@ -28,6 +28,8 @@ QUICK_EXPERIMENTS = [
     "abl-ordering",
     "abl-collectives",
     "abl-symmetric",
+    "dirop",
+    "abl-dirop",
 ]
 
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.bfs_dirop import bfs_1d_dirop
+from repro.graphs.rmat import rmat_graph
 from repro.mpsim import run_spmd
 from repro.mpsim.engine import SimEngine
 
@@ -61,6 +63,64 @@ class TestAbortPaths:
 
         with pytest.raises(RuntimeError, match="failed|Barrier"):
             run_spmd(2, fn, timeout=0.5)
+
+
+class TestBottomUpExpandFailure:
+    def test_crash_inside_bitmap_allgatherv_releases_peers(self):
+        """A rank dying inside the bottom-up expand must not leave the
+        other ranks hung in the bitmap ``Allgatherv``: the engine aborts
+        the collective and surfaces the originating rank."""
+
+        class FailingComm:
+            """Delegating wrapper whose allgatherv raises on one rank."""
+
+            def __init__(self, comm, fail_rank):
+                self._comm = comm
+                self._fail_rank = fail_rank
+
+            def __getattr__(self, name):
+                return getattr(self._comm, name)
+
+            def allgatherv(self, buf, concat=True):
+                if self._comm.rank == self._fail_rank:
+                    raise RuntimeError("NIC falls over mid-expand")
+                return self._comm.allgatherv(buf, concat=concat)
+
+        graph = rmat_graph(9, 16, seed=1)
+        source = int(
+            np.asarray(
+                graph.to_internal(
+                    int(graph.random_nonisolated_vertices(1, seed=2)[0])
+                )
+            )
+        )
+
+        def fn(comm):
+            # alpha huge -> the very first level runs bottom-up, so every
+            # surviving rank is parked inside the real allgatherv when
+            # rank 1 raises.
+            return bfs_1d_dirop(
+                FailingComm(comm, fail_rank=1),
+                graph.csr,
+                source,
+                alpha=1e9,
+            )
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            run_spmd(4, fn)
+
+    def test_healthy_ranks_complete_without_injection(self):
+        # Control: the same harness with no failing rank terminates.
+        graph = rmat_graph(9, 16, seed=1)
+        source = int(
+            np.asarray(
+                graph.to_internal(
+                    int(graph.random_nonisolated_vertices(1, seed=2)[0])
+                )
+            )
+        )
+        res = run_spmd(4, bfs_1d_dirop, graph.csr, source, alpha=1e9)
+        assert all(r["nlevels"] >= 1 for r in res.returns)
 
 
 class TestTimeout:

@@ -8,9 +8,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import bfs_serial, run_bfs, validate_bfs
-from repro.graphs import Graph
+from repro.core.runner import ALGORITHMS
+from repro.graphs import Graph, erdos_renyi_edges
+from repro.graphs.rmat import rmat_graph
 
 networkx = pytest.importorskip("networkx")
+
+#: Every registered algorithm, serial included: the equivalence harness
+#: must cover new variants the moment they land in the registry.
+ALL_ALGORITHMS = sorted(ALGORITHMS)
 
 
 @st.composite
@@ -55,15 +61,65 @@ def test_serial_levels_match_networkx(case):
             assert res.levels[v] == -1, f"vertex {v}"
 
 
-@settings(max_examples=40, deadline=None)
-@given(small_graphs(), st.sampled_from(["1d", "2d", "pbgl", "graph500-ref"]))
-def test_distributed_equals_serial(case, algorithm):
-    """Every distributed variant produces the serial levels and parents."""
+@settings(max_examples=60, deadline=None)
+@given(
+    small_graphs(),
+    st.sampled_from(ALL_ALGORITHMS),
+    st.sampled_from([3, 4]),
+)
+def test_distributed_equals_serial(case, algorithm, nprocs):
+    """EVERY registered algorithm produces the serial levels and parents,
+    on arbitrary random graphs and rank counts that do not divide n."""
     graph, source, _ = case
     ref = run_bfs(graph, source, "serial")
-    res = run_bfs(graph, source, algorithm, nprocs=4)
+    res = run_bfs(graph, source, algorithm, nprocs=nprocs, validate=True)
     assert np.array_equal(res.levels, ref.levels)
     assert np.array_equal(res.parents, ref.parents)
+
+
+def _er_graph(n, avg_degree, seed):
+    src, dst = erdos_renyi_edges(n, avg_degree, seed=seed)
+    return Graph.from_edges(n, src, dst, shuffle=False)
+
+
+def _disconnected_graph():
+    # Two non-trivial components plus isolated vertices; n = 53 is prime
+    # so no rank count divides it.
+    rng = np.random.default_rng(11)
+    src_a = rng.integers(0, 20, 80)
+    dst_a = rng.integers(0, 20, 80)
+    src_b = rng.integers(25, 50, 80)
+    dst_b = rng.integers(25, 50, 80)
+    return Graph.from_edges(
+        53,
+        np.concatenate([src_a, src_b]),
+        np.concatenate([dst_a, dst_b]),
+        shuffle=False,
+    )
+
+
+ORACLE_CASES = {
+    "er-sparse": (_er_graph(61, 2.0, seed=3), 5),
+    "er-dense": (_er_graph(48, 12.0, seed=4), 0),
+    "rmat": (rmat_graph(8, 8, seed=2), 17),
+    "disconnected": (_disconnected_graph(), 1),
+    "isolated-source": (_disconnected_graph(), 52),
+}
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+@pytest.mark.parametrize("case", sorted(ORACLE_CASES))
+def test_oracle_equivalence_deterministic(algorithm, case):
+    """Deterministic spot checks behind the hypothesis sweep: ER and
+    R-MAT instances, disconnected graphs, an isolated source, and a rank
+    count that does not divide n — all algorithms, valid parent trees,
+    identical level arrays."""
+    graph, source = ORACLE_CASES[case]
+    ref = run_bfs(graph, source, "serial")
+    for nprocs in (1, 3):
+        res = run_bfs(graph, source, algorithm, nprocs=nprocs, validate=True)
+        assert np.array_equal(res.levels, ref.levels), (case, nprocs)
+        assert np.array_equal(res.parents, ref.parents), (case, nprocs)
 
 
 @settings(max_examples=40, deadline=None)

@@ -175,6 +175,28 @@ class TestSpMSVKernels:
             choose_spmsv_kernel(64, spa_words=10**9, memory_budget_words=10**6)
             == "heap"
         )
+        # A budget without a known SPA working set cannot be enforced and
+        # must not be silently ignored.
+        with pytest.raises(ValueError, match="spa_words"):
+            choose_spmsv_kernel(64, memory_budget_words=10**6)
+
+    def test_auto_dispatch_respects_memory_budget(self):
+        # The block's dense accumulator would need nrows=100 words; a
+        # tighter budget must force the heap kernel even at low
+        # concurrency, and a looser one must keep the SPA.
+        d = DCSC.from_coo(100, 10, [1, 2, 3], [4, 4, 5])
+        fi, fv = np.array([4, 5]), np.array([7, 8])
+        _, _, w = spmsv(d, fi, fv, kernel="auto", modeled_cores=64,
+                        memory_budget_words=50)
+        assert w.kernel == "heap"
+        _, _, w = spmsv(d, fi, fv, kernel="auto", modeled_cores=64,
+                        memory_budget_words=1000)
+        assert w.kernel == "spa"
+        # Both kernels agree on the result either way.
+        i1, v1, _ = spmsv(d, fi, fv, kernel="spa")
+        i2, v2, _ = spmsv(d, fi, fv, kernel="auto", modeled_cores=64,
+                          memory_budget_words=50)
+        assert np.array_equal(i1, i2) and np.array_equal(v1, v2)
 
     def test_dispatch(self):
         d = DCSC.from_coo(10, 10, [1], [2])

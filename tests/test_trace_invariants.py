@@ -1,0 +1,126 @@
+"""Invariants of the per-level traces emitted by the distributed BFS.
+
+The merged ``level_profile`` (one entry per level, counters summed over
+ranks) must stay consistent with the traversal result itself: every
+discovered vertex shows up in exactly one level's ``discovered`` count,
+the wire-word counters match the candidate counts the algorithms claim
+to send, and the direction-optimizing variant labels each level with the
+direction it actually ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_bfs
+from repro.graphs.rmat import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(11, 16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def source(graph):
+    return int(graph.random_nonisolated_vertices(1, seed=2)[0])
+
+
+def reached_after_source(res):
+    """Vertices discovered strictly after level 0 (the source)."""
+    return int((res.levels >= 1).sum())
+
+
+class TestTrace1D:
+    def test_discovered_sums_to_reached(self, graph, source):
+        res = run_bfs(graph, source, "1d", nprocs=4, trace=True)
+        profile = res.meta["level_profile"]
+        assert sum(lvl["discovered"] for lvl in profile) == reached_after_source(res)
+        # Frontier entering level L+1 is what level L discovered.
+        for prev, cur in zip(profile, profile[1:]):
+            assert cur["frontier"] == prev["discovered"]
+        assert profile[0]["frontier"] == 1
+
+    def test_words_sent_tracks_candidates_exactly_without_dedup(
+        self, graph, source
+    ):
+        # Without send-side dedup every candidate crosses the wire as a
+        # (vertex, parent) pair: exactly two words per candidate.
+        res = run_bfs(
+            graph, source, "1d", nprocs=4, trace=True, dedup_sends=False
+        )
+        for lvl in res.meta["level_profile"]:
+            assert lvl["words_sent"] == 2 * lvl["candidates"], lvl
+
+    def test_dedup_never_sends_more(self, graph, source):
+        res = run_bfs(graph, source, "1d", nprocs=4, trace=True)
+        assert any(
+            lvl["words_sent"] < 2 * lvl["candidates"]
+            for lvl in res.meta["level_profile"]
+        )
+        for lvl in res.meta["level_profile"]:
+            assert lvl["words_sent"] <= 2 * lvl["candidates"], lvl
+
+    def test_trace_words_bound_stats_ledger(self, graph, source):
+        # The trace counts every exchanged pair; the simulator's
+        # alltoallv ledger counts only the words that leave the rank
+        # (self-destined buffers stay in memory).  The trace is therefore
+        # an upper bound that the ledger approaches as p grows.
+        res = run_bfs(graph, source, "1d", nprocs=4, trace=True)
+        traced = sum(lvl["words_sent"] for lvl in res.meta["level_profile"])
+        ledger = res.stats.words_sent("alltoallv")
+        assert 0 < ledger <= traced
+        # With 4 ranks and a hashed vertex distribution roughly 3/4 of
+        # the pairs cross rank boundaries.
+        assert ledger > traced / 2
+
+
+class TestTrace2D:
+    def test_discovered_sums_to_reached(self, graph, source):
+        res = run_bfs(graph, source, "2d", nprocs=4, trace=True)
+        profile = res.meta["level_profile"]
+        assert sum(lvl["discovered"] for lvl in profile) == reached_after_source(res)
+
+    def test_words_sent_covers_both_exchanges(self, graph, source):
+        # 2D sends the frontier along processor columns (expand) AND the
+        # candidate pairs along rows (fold), so the wire traffic strictly
+        # exceeds two words per surviving candidate on non-trivial levels.
+        res = run_bfs(graph, source, "2d", nprocs=4, trace=True)
+        for lvl in res.meta["level_profile"]:
+            assert lvl["words_sent"] >= 2 * lvl["candidates"], lvl
+        assert any(
+            lvl["words_sent"] > 2 * lvl["candidates"]
+            for lvl in res.meta["level_profile"]
+        )
+
+
+class TestTraceDirop:
+    def test_every_level_records_direction(self, graph, source):
+        res = run_bfs(graph, source, "1d-dirop", nprocs=4, trace=True)
+        profile = res.meta["level_profile"]
+        assert all(
+            lvl["direction"] in ("top-down", "bottom-up") for lvl in profile
+        )
+        # A dense R-MAT actually exercises both directions.
+        directions = {lvl["direction"] for lvl in profile}
+        assert directions == {"top-down", "bottom-up"}
+
+    def test_discovered_sums_to_reached(self, graph, source):
+        res = run_bfs(graph, source, "1d-dirop", nprocs=4, trace=True)
+        profile = res.meta["level_profile"]
+        assert sum(lvl["discovered"] for lvl in profile) == reached_after_source(res)
+
+    def test_non_dirop_traces_have_no_direction(self, graph, source):
+        res = run_bfs(graph, source, "1d", nprocs=4, trace=True)
+        assert all(
+            "direction" not in lvl for lvl in res.meta["level_profile"]
+        )
+
+    def test_topdown_levels_match_1d_counters(self, graph, source):
+        # Levels that ran top-down use the same exchange as plain 1d, so
+        # their counters obey the same two-words-per-candidate bound.
+        res = run_bfs(graph, source, "1d-dirop", nprocs=4, trace=True)
+        for lvl in res.meta["level_profile"]:
+            if lvl["direction"] == "top-down":
+                assert lvl["words_sent"] <= 2 * lvl["candidates"], lvl

@@ -44,6 +44,24 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--nbfs", type=int, default=8)
     group.add_argument("--seed", type=int, default=0)
     group.add_argument(
+        "--codec",
+        default="raw",
+        choices=["raw", "delta-varint", "bitmap", "auto"],
+        help=(
+            "wire format for the exchange buffers; the alpha-beta model "
+            "prices the encoded size, so compression is modeled speedup "
+            "(default: raw)"
+        ),
+    )
+    group.add_argument(
+        "--sieve",
+        action="store_true",
+        help=(
+            "drop candidates whose target the sender already shipped at an "
+            "earlier level (exact; parents stay bit-identical)"
+        ),
+    )
+    group.add_argument(
         "--dirop-alpha",
         type=float,
         default=None,
@@ -101,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
             machine=args.machine,
             nbfs=args.nbfs,
             seed=args.seed,
+            codec=args.codec,
+            sieve=args.sieve,
             dirop_alpha=args.dirop_alpha,
             dirop_beta=args.dirop_beta,
         )

@@ -1,0 +1,41 @@
+"""Pluggable wire-format subsystem for the BFS exchanges.
+
+The compression + sieve layer of Lv et al. (arXiv:1208.5542) applied to
+this repo's 1D/2D BFS: :mod:`~repro.comm.codecs` defines the wire
+formats (``raw``, ``delta-varint``, ``bitmap``, ``auto``),
+:mod:`~repro.comm.sieve` the exact duplicate-candidate filter, and
+:mod:`~repro.comm.channel` the :class:`CommChannel` every exchange site
+goes through.  Select with ``run_bfs(..., codec=..., sieve=...)`` or the
+``--codec``/``--sieve`` CLI flags.
+"""
+
+from repro.comm.channel import CommChannel, ExchangeInfo
+from repro.comm.codecs import (
+    CODECS,
+    AutoCodec,
+    BitmapCodec,
+    Codec,
+    DeltaVarintCodec,
+    RawCodec,
+    VertexRange,
+    get_codec,
+)
+from repro.comm.sieve import Sieve
+from repro.comm.varint import decode_varints, encode_varints, varint_sizes
+
+__all__ = [
+    "CODECS",
+    "AutoCodec",
+    "BitmapCodec",
+    "Codec",
+    "CommChannel",
+    "DeltaVarintCodec",
+    "ExchangeInfo",
+    "RawCodec",
+    "Sieve",
+    "VertexRange",
+    "decode_varints",
+    "encode_varints",
+    "get_codec",
+    "varint_sizes",
+]

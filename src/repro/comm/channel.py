@@ -1,0 +1,251 @@
+"""Codec- and sieve-aware wrapper around the exchange collectives.
+
+:class:`CommChannel` is the single seam between the BFS algorithms and
+the wire: every candidate ``Alltoallv`` and frontier ``Allgatherv`` goes
+through it.  The channel
+
+* optionally runs the :class:`~repro.comm.sieve.Sieve` over outgoing
+  candidates (dropping targets this rank already shipped at an earlier
+  level — exact, see ``sieve.py``),
+* encodes each per-destination buffer with the configured
+  :class:`~repro.comm.codecs.Codec` (so the engine's alpha-beta model
+  prices the *encoded* size — compression is modeled speedup),
+* records both ``payload_words`` (logical, pre-codec) and ``wire_words``
+  (post-codec) per collective kind and per BFS level on the rank's
+  :class:`~repro.mpsim.stats.RankStats`, and
+* charges the encode/decode compute through the site's
+  :class:`~repro.model.costmodel.Charger`.
+
+Under the default ``codec="raw"`` with the sieve off, the channel is a
+strict pass-through: byte-identical buffers, zero additional compute
+charges, and the same charge ordering as the pre-channel call sites —
+the seed behaviour, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.codecs import Codec, VertexRange, get_codec
+from repro.comm.sieve import Sieve
+from repro.core.frontier import bitmap_words, bucket_by_owner
+
+#: Bytes per boolean in the sieve's ``seen`` array; its random-access
+#: working set in 64-bit words is ``nglobal / 8``.
+_SIEVE_BYTES_PER_FLAG = 8
+
+#: Integer ops charged per payload word of a non-raw encode/decode pass:
+#: delta, varint byte-count, and shift/mask work.  The transform is
+#: linear, not a sort — pair buckets arrive owner-sorted (the 1D dedup
+#: emits ascending targets and vertex ownership is monotone), and the
+#: ``auto`` polyalgorithm selects its codec from the buffer's measured
+#: density, one encode pass either way.
+_CODEC_OPS_PER_WORD = 8.0
+
+
+@dataclass(frozen=True)
+class ExchangeInfo:
+    """Accounting for one channel operation (one collective, one level).
+
+    ``payload_words``/``wire_words`` follow the stats convention of the
+    underlying collective: self-addressed all-to-all buckets are excluded,
+    gather contributions are not.
+    """
+
+    pairs: int
+    payload_words: float
+    wire_words: float
+    dropped: int
+
+
+class CommChannel:
+    """Per-communicator wire layer: sieve -> bucket -> encode -> collective.
+
+    ``ranges[j]`` is the :class:`VertexRange` the buffers exchanged with
+    group rank ``j`` index into: the destination's owned range for pair
+    exchanges, the contributor's vector piece for frontier gathers.  Both
+    endpoints derive it from the partition, so it never travels on the
+    wire.
+    """
+
+    def __init__(
+        self,
+        comm,
+        ranges: list[VertexRange],
+        codec: str | Codec = "raw",
+        sieve: Sieve | None = None,
+        charger=None,
+    ):
+        if len(ranges) != comm.size:
+            raise ValueError(
+                f"need one VertexRange per group rank: {len(ranges)} != {comm.size}"
+            )
+        self.comm = comm
+        self.ranges = list(ranges)
+        self.codec = get_codec(codec)
+        self.sieve = sieve
+        self.charger = charger
+
+    # -- internal helpers ---------------------------------------------------
+    @property
+    def _transcoding(self) -> bool:
+        return self.codec.name != "raw"
+
+    def _charge_encode(self, nitems: float, payload: float, wire: float) -> None:
+        if self.charger is None or not self._transcoding:
+            return
+        self.charger.intops(_CODEC_OPS_PER_WORD * payload, codec_items=nitems)
+        self.charger.stream(payload + wire, codec_wire_words=wire)
+
+    def _charge_decode(self, nitems: float, wire: float) -> None:
+        if self.charger is None or not self._transcoding:
+            return
+        self.charger.intops(_CODEC_OPS_PER_WORD * nitems)
+        self.charger.stream(wire + nitems)
+
+    def _record(self, kind: str, info: ExchangeInfo, level: int | None) -> None:
+        self.comm.stats.record_channel(
+            kind,
+            info.payload_words,
+            info.wire_words,
+            level=level,
+            dropped=float(info.dropped),
+        )
+
+    # -- candidate pair exchange (1D top-down, 2D fold) ---------------------
+    def pack_pairs(
+        self, targets: np.ndarray, parents: np.ndarray, owners: np.ndarray
+    ) -> tuple[list[np.ndarray], ExchangeInfo]:
+        """Sieve, bucket by destination, and encode the candidate pairs.
+
+        Returns the per-destination wire buffers plus the accounting the
+        caller threads into :meth:`exchange_pairs`.  Splitting pack from
+        exchange lets the call site keep its own compute charges between
+        the two — charge order feeds collective arrival times, so raw
+        parity requires it.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        parents = np.asarray(parents, dtype=np.int64)
+        owners = np.asarray(owners, dtype=np.int64)
+        if self.sieve is not None:
+            before = targets.size
+            if self.charger is not None and before:
+                # One irregular probe per candidate into the seen bitmask.
+                self.charger.random(
+                    float(before),
+                    ws_words=max(self.sieve.nglobal / _SIEVE_BYTES_PER_FLAG, 1.0),
+                )
+            targets, parents, owners = self.sieve.filter(targets, parents, owners)
+            dropped = int(before - targets.size)
+            if self.charger is not None and dropped:
+                self.charger.count(sieve_dropped=float(dropped))
+            self.sieve.mark(targets)
+        else:
+            dropped = 0
+        buckets, _counts = bucket_by_owner(
+            owners, self.comm.size, targets, parents
+        )
+        me = self.comm.rank
+        send: list[np.ndarray] = []
+        payload = wire = 0.0
+        for dst, (dst_targets, dst_parents) in enumerate(buckets):
+            buf = self.codec.encode_pairs(dst_targets, dst_parents, self.ranges[dst])
+            send.append(buf)
+            if dst != me:
+                payload += 2.0 * dst_targets.size
+                wire += float(buf.size)
+        self._charge_encode(float(targets.size), 2.0 * targets.size, wire)
+        info = ExchangeInfo(int(targets.size), payload, wire, dropped)
+        return send, info
+
+    def exchange_pairs(
+        self, send: list[np.ndarray], info: ExchangeInfo, level: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All-to-all the packed buffers and decode what arrives.
+
+        Returns the concatenated ``(targets, parents)`` addressed to this
+        rank; identical to the seed's ``alltoallv_concat`` +
+        ``unpack_pairs`` under the raw codec.
+        """
+        self._record("alltoallv", info, level)
+        pieces = self.comm.alltoallv(send)
+        ctx = self.ranges[self.comm.rank]
+        decoded = [self.codec.decode_pairs(piece, ctx) for piece in pieces]
+        if decoded:
+            rv = np.concatenate([t for t, _ in decoded])
+            rp = np.concatenate([p for _, p in decoded])
+        else:
+            rv = np.empty(0, dtype=np.int64)
+            rp = np.empty(0, dtype=np.int64)
+        self._charge_decode(
+            float(rv.size),
+            float(sum(p.size for p in pieces)),
+        )
+        return rv, rp
+
+    # -- frontier gathers (bottom-up expand, 2D expand) ---------------------
+    def expand_bitmap(
+        self, frontier: np.ndarray, level: int | None = None
+    ) -> tuple[np.ndarray, ExchangeInfo]:
+        """Allgather the frontier as a global boolean mask.
+
+        ``frontier`` holds this rank's frontier vertices (global ids inside
+        its own :class:`VertexRange`); the result is the dense mask over
+        the union of all ranges, in group-rank order — the bottom-up
+        sweep's ``Allgatherv`` with the payload priced post-codec.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        mine = self.ranges[self.comm.rank]
+        payload = float(bitmap_words(mine.nbits))
+        buf = self.codec.encode_set(frontier, mine, dense=True)
+        self._charge_encode(float(frontier.size), payload, float(buf.size))
+        info = ExchangeInfo(int(frontier.size), payload, float(buf.size), 0)
+        self._record("allgatherv", info, level)
+        pieces = self.comm.allgatherv(buf, concat=False)
+        nglobal = sum(r.nbits for r in self.ranges)
+        mask = np.zeros(nglobal, dtype=bool)
+        wire_recv = 0.0
+        for r, piece in enumerate(pieces):
+            vertices = self.codec.decode_set(piece, self.ranges[r], dense=True)
+            mask[vertices] = True
+            wire_recv += float(np.asarray(piece).size)
+        self._charge_decode(float(nglobal) / 64.0, wire_recv)
+        if self.sieve is not None:
+            self.sieve.mark_mask(mask)
+        return mask, info
+
+    def allgatherv_vertices(
+        self, vertices: np.ndarray, level: int | None = None
+    ) -> tuple[np.ndarray, ExchangeInfo]:
+        """Allgather sparse vertex lists (the 2D expand's frontier gather).
+
+        Each rank contributes the vertices of its own vector piece; the
+        result concatenates every rank's decoded list in group-rank order.
+        Raw is the identity, so ordering matches the seed exactly; the
+        downstream SpMSV's (select, max) semiring is order-independent, so
+        codecs that sort are safe.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        mine = self.ranges[self.comm.rank]
+        buf = self.codec.encode_set(vertices, mine, dense=False)
+        self._charge_encode(float(vertices.size), float(vertices.size), float(buf.size))
+        info = ExchangeInfo(
+            int(vertices.size), float(vertices.size), float(buf.size), 0
+        )
+        self._record("allgatherv", info, level)
+        pieces = self.comm.allgatherv(buf, concat=False)
+        decoded = [
+            self.codec.decode_set(piece, self.ranges[r], dense=False)
+            for r, piece in enumerate(pieces)
+        ]
+        gathered = (
+            np.concatenate(decoded) if decoded else np.empty(0, dtype=np.int64)
+        )
+        self._charge_decode(
+            float(gathered.size), float(sum(np.asarray(p).size for p in pieces))
+        )
+        if self.sieve is not None:
+            self.sieve.mark(gathered)
+        return gathered, info

@@ -20,15 +20,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.frontier import (
-    build_send_buffers,
-    dedup_candidates,
-    unpack_pairs,
-)
+from repro.comm import CommChannel, Sieve, VertexRange
+from repro.core.frontier import dedup_candidates
 from repro.core.partition import Partition1D
 from repro.graphs.csr import CSR
 from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
+
+
+def partition_ranges(part: Partition1D, nranks: int) -> list[VertexRange]:
+    """Owned vertex range of every rank, as the comm layer's contexts."""
+    ranges = []
+    for rank in range(nranks):
+        lo, hi = part.range_of(rank)
+        ranges.append(VertexRange(lo, hi - lo))
+    return ranges
+
+
+def make_sieve(sieve: bool | Sieve | None, nglobal: int) -> Sieve | None:
+    """Normalize a ``sieve`` argument (flag or prebuilt instance)."""
+    if isinstance(sieve, Sieve):
+        return sieve
+    return Sieve(nglobal) if sieve else None
 
 
 def bfs_1d(
@@ -38,6 +51,8 @@ def bfs_1d(
     machine=None,
     threads: int = 1,
     dedup_sends: bool = True,
+    codec="raw",
+    sieve: bool | Sieve = False,
     trace: bool = False,
 ) -> dict:
     """Rank body of the 1D algorithm (flat MPI when ``threads == 1``).
@@ -56,6 +71,11 @@ def bfs_1d(
         Cost-model configuration; ``machine=None`` runs untimed.
     dedup_sends:
         Send-side deduplication of candidate vertices per destination.
+    codec / sieve:
+        Wire format for the candidate exchange (``"raw"``,
+        ``"delta-varint"``, ``"bitmap"``, ``"auto"`` or a
+        :class:`~repro.comm.Codec` instance) and the sender-side
+        already-seen filter; see :mod:`repro.comm`.
     trace:
         Record a per-level profile (frontier size, candidates, words
         sent/received) under the ``"trace"`` key of the result.
@@ -69,6 +89,13 @@ def bfs_1d(
     lo, hi = part.range_of(comm.rank)
     nloc = hi - lo
     charger = Charger(comm, machine=machine, threads=threads)
+    channel = CommChannel(
+        comm,
+        partition_ranges(part, comm.size),
+        codec=codec,
+        sieve=make_sieve(sieve, csr.n),
+        charger=charger,
+    )
 
     levels = np.full(nloc, -1, dtype=np.int64)
     parents = np.full(nloc, -1, dtype=np.int64)
@@ -98,17 +125,16 @@ def bfs_1d(
             targets, sources = dedup_candidates(targets, sources)
             charger.sort(candidates)
         owners = part.owner_of(targets)
-        send = build_send_buffers(targets, sources, owners, comm.size)
-        charger.intops(2.0 * targets.size)  # owner computation + packing
-        charger.stream(2.0 * targets.size)
-        charger.count(candidates=float(candidates), unique_sends=float(targets.size))
+        send, xinfo = channel.pack_pairs(targets, sources, owners)
+        charger.intops(2.0 * xinfo.pairs)  # owner computation + packing
+        charger.stream(2.0 * xinfo.pairs)
+        charger.count(candidates=float(candidates), unique_sends=float(xinfo.pairs))
 
-        # 3. The level's single collective.
-        recv, _recv_counts = comm.alltoallv_concat(send)
+        # 3. The level's single collective (codec-encoded buffers).
+        rv, rp = channel.exchange_pairs(send, xinfo, level=level)
 
         # 4. Owner-side visited checks (Algorithm 2 lines 23-26).  The
         #    received pairs from different sources may share targets.
-        rv, rp = unpack_pairs(recv)
         charger.random(float(rv.size), ws_words=max(nloc, 1))
         unvisited = levels[rv - lo] < 0
         rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
@@ -126,7 +152,9 @@ def bfs_1d(
                     "level": level,
                     "frontier": frontier_in,
                     "candidates": candidates,
-                    "words_sent": int(2 * targets.size),
+                    "words_sent": int(2 * xinfo.pairs),
+                    "wire_words": int(xinfo.wire_words),
+                    "sieve_dropped": xinfo.dropped,
                     "discovered": int(frontier.size),
                 }
             )

@@ -26,11 +26,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.frontier import (
-    build_send_buffers,
-    dedup_candidates,
-    unpack_pairs,
-)
+from repro.comm import CommChannel, VertexRange
+from repro.core.bfs1d import make_sieve
+from repro.core.frontier import dedup_candidates
 from repro.core.partition import Decomp2D
 from repro.graphs.csr import CSR
 from repro.model.costmodel import Charger
@@ -102,6 +100,8 @@ def bfs_2d(
     threads: int = 1,
     kernel: str = "auto",
     modeled_cores: int | None = None,
+    codec="raw",
+    sieve=False,
     trace: bool = False,
 ) -> dict:
     """Rank body of the 2D algorithm (flat MPI when ``threads == 1``).
@@ -109,7 +109,10 @@ def bfs_2d(
     ``blocks`` comes from :func:`build_2d_blocks` with the same ``decomp``
     and ``threads``.  ``modeled_cores`` feeds the SpMSV polyalgorithm's
     concurrency predicate (defaults to ``comm.size * threads``).
-    ``trace`` records a per-level profile under the ``"trace"`` key.
+    ``codec``/``sieve`` configure the wire layer of both the expand
+    ``Allgatherv`` (along the column) and the fold ``Alltoallv`` (along
+    the row); see :mod:`repro.comm`.  ``trace`` records a per-level
+    profile under the ``"trace"`` key.
     """
     grid = ProcessorGrid(comm, decomp.pr, decomp.pc)
     # Row-split DCSC pieces are embarrassingly thread-parallel (Figure 2).
@@ -119,9 +122,27 @@ def bfs_2d(
         modeled_cores = comm.size * threads
 
     row_lo, _row_hi = decomp.row_block(grid.row)
-    col_lo, _col_hi = decomp.col_block(grid.col)
+    col_lo, col_hi = decomp.col_block(grid.col)
     plo, phi = decomp.vec_piece(grid.row, grid.col)
     nloc = phi - plo
+
+    # Wire layer: the fold's buffers index into the destination's vector
+    # piece along my processor row; every expand contribution lies inside
+    # my grid column's block (contributions are disjoint, so per-piece
+    # decode + concat is exact).  Both channels share one sieve — a vertex
+    # observed discovered through the expand never needs folding again.
+    shared_sieve = make_sieve(sieve, decomp.n)
+    row_ranges = [
+        VertexRange(vlo, vhi - vlo)
+        for vlo, vhi in (decomp.vec_piece(grid.row, j) for j in range(decomp.pc))
+    ]
+    row_channel = CommChannel(
+        grid.row_comm, row_ranges, codec=codec, sieve=shared_sieve, charger=charger
+    )
+    col_ranges = [VertexRange(col_lo, col_hi - col_lo)] * grid.col_comm.size
+    col_channel = CommChannel(
+        grid.col_comm, col_ranges, codec=codec, sieve=shared_sieve, charger=charger
+    )
 
     levels = np.full(nloc, -1, dtype=np.int64)
     parents = np.full(nloc, -1, dtype=np.int64)
@@ -161,7 +182,7 @@ def bfs_2d(
         #    j — the column support of every matrix block in this grid
         #    column.  (On square grids the pieces happen to concatenate in
         #    ascending vertex order; nothing downstream relies on it.)
-        f_col = grid.col_comm.allgatherv(transposed)
+        f_col, expand_info = col_channel.allgatherv_vertices(transposed, level=level)
         charger.stream(float(f_col.size))
 
         # 3. Local SpMSV per thread piece; payload = the frontier vertex
@@ -204,13 +225,12 @@ def bfs_2d(
 
         # 4. Fold: scatter candidates to vector-piece owners along the row.
         owners = decomp.vec_owner_col(grid.row, trows)
-        send = build_send_buffers(trows, tvals, owners, decomp.pc)
-        charger.intops(float(trows.size))
-        charger.count(unique_sends=float(trows.size))
-        recv, _counts = grid.row_comm.alltoallv_concat(send)
+        send, xinfo = row_channel.pack_pairs(trows, tvals, owners)
+        charger.intops(float(xinfo.pairs))
+        charger.count(unique_sends=float(xinfo.pairs))
+        rv, rp = row_channel.exchange_pairs(send, xinfo, level=level)
 
         # 5. Mask with pi-bar and update (Algorithm 3 lines 9-11).
-        rv, rp = unpack_pairs(recv)
         charger.random(float(rv.size), ws_words=float(max(nloc, 1)))
         unvisited = parents[rv - plo] == -1
         rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
@@ -227,7 +247,9 @@ def bfs_2d(
                     "level": level,
                     "frontier": frontier_in,
                     "candidates": int(trows.size),
-                    "words_sent": int(2 * trows.size + f_col.size),
+                    "words_sent": int(2 * xinfo.pairs + f_col.size),
+                    "wire_words": int(xinfo.wire_words + expand_info.wire_words),
+                    "sieve_dropped": xinfo.dropped,
                     "discovered": int(frontier.size),
                 }
             )

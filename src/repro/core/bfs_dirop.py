@@ -33,14 +33,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm import CommChannel
+from repro.core.bfs1d import make_sieve, partition_ranges
 from repro.core.frontier import (
-    build_send_buffers,
+    bitmap_words,
     dedup_candidates,
-    pack_frontier_bitmap,
     should_switch_bottom_up,
     should_switch_top_down,
-    unpack_frontier_bitmap,
-    unpack_pairs,
 )
 from repro.core.partition import Partition1D
 from repro.graphs.csr import CSR
@@ -52,8 +51,8 @@ BOTTOM_UP = "bottom-up"
 
 
 def _topdown_level(
-    comm, csr, part, charger, levels, parents, frontier, lo, nloc, level,
-    dedup_sends, threads,
+    comm, csr, part, channel, charger, levels, parents, frontier, lo, nloc,
+    level, dedup_sends, threads,
 ):
     """One top-down level: Algorithm 2's enumerate/dedup/exchange/update."""
     targets, sources = csr.gather(frontier)
@@ -65,14 +64,12 @@ def _topdown_level(
         targets, sources = dedup_candidates(targets, sources)
         charger.sort(candidates)
     owners = part.owner_of(targets)
-    send = build_send_buffers(targets, sources, owners, comm.size)
-    charger.intops(2.0 * targets.size)
-    charger.stream(2.0 * targets.size)
-    charger.count(candidates=float(candidates), unique_sends=float(targets.size))
+    send, xinfo = channel.pack_pairs(targets, sources, owners)
+    charger.intops(2.0 * xinfo.pairs)
+    charger.stream(2.0 * xinfo.pairs)
+    charger.count(candidates=float(candidates), unique_sends=float(xinfo.pairs))
 
-    recv, _recv_counts = comm.alltoallv_concat(send)
-
-    rv, rp = unpack_pairs(recv)
+    rv, rp = channel.exchange_pairs(send, xinfo, level=level)
     charger.random(float(rv.size), ws_words=max(nloc, 1))
     unvisited = levels[rv - lo] < 0
     rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
@@ -81,25 +78,25 @@ def _topdown_level(
     if threads > 1:
         charger.thread_merge(float(rv.size))
     charger.stream(float(rv.size))
-    return rv, {"candidates": candidates, "words_sent": int(2 * targets.size)}
+    return rv, {
+        "candidates": candidates,
+        "words_sent": int(2 * xinfo.pairs),
+        "wire_words": int(xinfo.wire_words),
+        "sieve_dropped": xinfo.dropped,
+    }
 
 
 def _bottomup_level(
-    comm, csr, part, charger, levels, parents, frontier, lo, nloc, level, threads,
+    comm, csr, part, channel, charger, levels, parents, frontier, lo, nloc,
+    level, threads,
 ):
     """One bottom-up level: bitmap expand + early-exit reverse edge scans."""
     # Expand: every owner contributes its local frontier bitmap; the
-    # Allgatherv assembles the global one (~n/64 words received per rank,
-    # priced at beta_{N,ag} by the collective cost model).
-    words = pack_frontier_bitmap(frontier, lo, nloc)
-    charger.stream(float(words.size) + float(frontier.size))
-    pieces = comm.allgatherv(words, concat=False)
-    bitmap = np.concatenate(
-        [
-            unpack_frontier_bitmap(piece, part.local_count(rank))
-            for rank, piece in enumerate(pieces)
-        ]
-    )
+    # Allgatherv assembles the global one (~n/64 words received per rank
+    # under the raw codec, priced post-codec by the collective cost model).
+    payload = float(bitmap_words(nloc))
+    charger.stream(payload + float(frontier.size))
+    bitmap, xinfo = channel.expand_bitmap(frontier, level=level)
     charger.stream(float(bitmap.size) / 64.0)
 
     # Fold: enumerate unvisited owned vertices and reverse-scan their
@@ -137,7 +134,12 @@ def _bottomup_level(
     if threads > 1:
         charger.thread_merge(float(new.size))
     charger.stream(float(new.size))
-    return new, {"candidates": int(scanned), "words_sent": int(words.size)}
+    return new, {
+        "candidates": int(scanned),
+        "words_sent": int(payload),
+        "wire_words": int(xinfo.wire_words),
+        "sieve_dropped": 0,
+    }
 
 
 def bfs_1d_dirop(
@@ -147,6 +149,8 @@ def bfs_1d_dirop(
     machine=None,
     threads: int = 1,
     dedup_sends: bool = True,
+    codec="raw",
+    sieve=False,
     alpha: float | None = None,
     beta: float | None = None,
     symmetric: bool = True,
@@ -156,9 +160,12 @@ def bfs_1d_dirop(
 
     Parameters
     ----------
-    comm / csr / source / machine / threads / dedup_sends:
+    comm / csr / source / machine / threads / dedup_sends / codec / sieve:
         As in :func:`repro.core.bfs1d.bfs_1d`; ``dedup_sends`` applies to
-        the top-down levels only.
+        the top-down levels only, while ``codec``/``sieve`` cover both the
+        top-down ``Alltoallv`` and the bottom-up bitmap ``Allgatherv``
+        (the expand also feeds the sieve: a gathered frontier is a set of
+        discovered vertices no later exchange needs to re-ship).
     alpha:
         Top-down -> bottom-up density threshold (default
         :data:`~repro.model.costmodel.DIROP_ALPHA`): switch when the
@@ -185,6 +192,13 @@ def bfs_1d_dirop(
     lo, hi = part.range_of(comm.rank)
     nloc = hi - lo
     charger = Charger(comm, machine=machine, threads=threads)
+    channel = CommChannel(
+        comm,
+        partition_ranges(part, comm.size),
+        codec=codec,
+        sieve=make_sieve(sieve, csr.n),
+        charger=charger,
+    )
     degrees = csr.indptr[lo + 1 : hi + 1] - csr.indptr[lo:hi]
 
     levels = np.full(nloc, -1, dtype=np.int64)
@@ -227,12 +241,12 @@ def bfs_1d_dirop(
         frontier_in = int(frontier.size)
         if direction == TOP_DOWN:
             frontier, info = _topdown_level(
-                comm, csr, part, charger, levels, parents, frontier,
+                comm, csr, part, channel, charger, levels, parents, frontier,
                 lo, nloc, level, dedup_sends, threads,
             )
         else:
             frontier, info = _bottomup_level(
-                comm, csr, part, charger, levels, parents, frontier,
+                comm, csr, part, channel, charger, levels, parents, frontier,
                 lo, nloc, level, threads,
             )
         unexplored_edges -= int(degrees[frontier - lo].sum()) if frontier.size else 0
@@ -245,6 +259,8 @@ def bfs_1d_dirop(
                     "frontier": frontier_in,
                     "candidates": info["candidates"],
                     "words_sent": info["words_sent"],
+                    "wire_words": info["wire_words"],
+                    "sieve_dropped": info["sieve_dropped"],
                     "discovered": int(frontier.size),
                     "direction": direction,
                 }

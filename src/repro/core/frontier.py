@@ -33,11 +33,14 @@ def dedup_candidates(
     parents = np.asarray(parents, dtype=np.int64)
     if targets.size == 0:
         return targets, parents
-    span = np.int64(parents.max()) + 1
-    if 0 <= parents.min() and targets.max() < (1 << 62) // max(span, 1):
+    # Python-int span: ``parents.max() + 1`` would wrap int64 for parents
+    # near 2**63 and silently corrupt the composite keys below.
+    span = int(parents.max()) + 1
+    if 0 <= parents.min() and span <= (1 << 62) and targets.max() < (1 << 62) // span:
         # Composite-key quicksort (targets major, parents minor) is far
         # faster than lexsort; the max parent of each target is the last
         # entry of its run.
+        span = np.int64(span)
         key = targets * span + parents
         key.sort()
         last = np.empty(key.size, dtype=bool)

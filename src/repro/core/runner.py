@@ -107,6 +107,8 @@ def run_bfs(
     machine=None,
     kernel: str = "auto",
     dedup_sends: bool = True,
+    codec: str = "raw",
+    sieve: bool = False,
     vector_dist: str = "2d",
     modeled_cores: int | None = None,
     grid_shape: tuple[int, int] | None = None,
@@ -142,6 +144,17 @@ def run_bfs(
         ``"heap"``.
     dedup_sends:
         1D send-side deduplication (ablation switch).
+    codec:
+        Wire format for the exchange buffers (``"raw"``,
+        ``"delta-varint"``, ``"bitmap"``, ``"auto"`` or a
+        :class:`~repro.comm.Codec` instance); the alpha-beta model prices
+        the *encoded* buffers, so compression is modeled speedup.
+        Distributed 1d/2d families only.
+    sieve:
+        Sender-side filter dropping candidates whose target this rank
+        already shipped (or observed discovered) at an earlier level —
+        exact, parents stay bit-identical.  Distributed 1d/2d families
+        only.
     vector_dist:
         2D vector distribution: ``"2d"`` (default) or ``"1d"``
         (diagonal-only; the Figure 4 ablation).
@@ -174,6 +187,12 @@ def run_bfs(
     machine = get_machine(machine)
     threads = _resolve_threads(algorithm, threads, machine)
     family, _hybrid = ALGORITHMS[algorithm]
+    wire_default = (codec == "raw" or getattr(codec, "name", None) == "raw") and not sieve
+    if family in ("serial", "pbgl", "graph500-ref") and not wire_default:
+        raise ValueError(
+            f"{algorithm} does not route its exchanges through repro.comm; "
+            "codec/sieve apply to the 1d/2d families only"
+        )
     src_internal = int(np.asarray(graph.to_internal(source)))
 
     if family == "serial":
@@ -198,6 +217,8 @@ def run_bfs(
                     machine=machine,
                     threads=threads,
                     dedup_sends=dedup_sends,
+                    codec=codec,
+                    sieve=sieve,
                     trace=trace,
                     cost_model=cost_model,
                 )
@@ -210,6 +231,8 @@ def run_bfs(
                     machine=machine,
                     threads=threads,
                     dedup_sends=dedup_sends,
+                    codec=codec,
+                    sieve=sieve,
                     alpha=dirop_alpha,
                     beta=dirop_beta,
                     symmetric=not graph.directed,
@@ -271,6 +294,8 @@ def run_bfs(
                 threads=threads,
                 kernel=kernel,
                 modeled_cores=modeled_cores,
+                codec=codec,
+                sieve=sieve,
                 trace=trace,
                 cost_model=cost_model,
             )
@@ -312,6 +337,8 @@ def run_bfs(
             "graph": graph.name,
             "kernel": kernel,
             "dedup_sends": dedup_sends,
+            "codec": getattr(codec, "name", codec),
+            "sieve": bool(sieve),
             "vector_dist": vector_dist,
             "dirop_alpha": DIROP_ALPHA if dirop_alpha is None else dirop_alpha,
             "dirop_beta": DIROP_BETA if dirop_beta is None else dirop_beta,
@@ -331,11 +358,13 @@ def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
     merged: list[dict] = []
     for i in range(nlevels):
         entry = {"level": i + 1, "frontier": 0, "candidates": 0,
-                 "words_sent": 0, "discovered": 0}
+                 "words_sent": 0, "wire_words": 0, "sieve_dropped": 0,
+                 "discovered": 0}
         for t in rank_traces:
             if i < len(t):
-                for key in ("frontier", "candidates", "words_sent", "discovered"):
-                    entry[key] += t[i][key]
+                for key in ("frontier", "candidates", "words_sent",
+                            "wire_words", "sieve_dropped", "discovered"):
+                    entry[key] += t[i].get(key, 0)
                 if "direction" in t[i] and "direction" not in entry:
                     entry["direction"] = t[i]["direction"]
         merged.append(entry)

@@ -25,6 +25,18 @@ class RankStats:
     words_recv: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     calls: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     mpi_time_by_kind: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: Logical (pre-codec) words per kind, reported by the comm channel.
+    #: ``words_sent`` holds the *wire* (post-codec) size of the same
+    #: exchanges, since the collectives see the encoded buffers.
+    payload_words: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: Post-codec words per kind for channel-routed exchanges only (a
+    #: subset of ``words_sent``, which also counts control collectives).
+    wire_words: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: ``{level: {kind: words}}`` breakdowns for channel-routed exchanges.
+    level_payload: dict[int, dict[str, float]] = field(default_factory=dict)
+    level_wire: dict[int, dict[str, float]] = field(default_factory=dict)
+    #: Candidates dropped by the sender-side sieve before encoding.
+    sieve_dropped: float = 0.0
     #: Words sent per destination *global* rank (populated only when the
     #: run was launched with ``record_peers=True``).
     peer_words: dict[int, float] = field(default_factory=lambda: defaultdict(float))
@@ -43,6 +55,31 @@ class RankStats:
         self.words_recv[kind] += recv_words
         self.calls[kind] += 1
         self.mpi_time_by_kind[kind] += mpi_seconds
+
+    def record_channel(
+        self,
+        kind: str,
+        payload_words: float,
+        wire_words: float,
+        level: int | None = None,
+        dropped: float = 0.0,
+    ) -> None:
+        """Record one channel exchange's logical vs wire volume.
+
+        Called by :class:`repro.comm.channel.CommChannel` alongside the
+        collective itself (which books the wire words into
+        ``words_sent``); keeps the self-exclusion convention of the
+        underlying collective kind.
+        """
+        self.payload_words[kind] += payload_words
+        self.wire_words[kind] += wire_words
+        self.sieve_dropped += dropped
+        if level is not None:
+            level = int(level)
+            by_kind = self.level_payload.setdefault(level, defaultdict(float))
+            by_kind[kind] += payload_words
+            by_kind = self.level_wire.setdefault(level, defaultdict(float))
+            by_kind[kind] += wire_words
 
     @property
     def total_words_sent(self) -> float:
@@ -101,6 +138,66 @@ class SimStats:
             return float(sum(r.total_words_recv for r in self.comm))
         return float(sum(r.words_recv.get(kind, 0.0) for r in self.comm))
 
+    def payload_words(self, kind: str | None = None) -> float:
+        """Logical (pre-codec) words of channel-routed exchanges."""
+        if kind is None:
+            return float(sum(sum(r.payload_words.values()) for r in self.comm))
+        return float(sum(r.payload_words.get(kind, 0.0) for r in self.comm))
+
+    def wire_words(self, kind: str | None = None) -> float:
+        """Post-codec words of channel-routed exchanges (what beta_N prices)."""
+        if kind is None:
+            return float(sum(sum(r.wire_words.values()) for r in self.comm))
+        return float(sum(r.wire_words.get(kind, 0.0) for r in self.comm))
+
+    def compression_ratio(self, kind: str | None = None) -> float:
+        """payload / wire over channel-routed exchanges (1.0 when untracked)."""
+        wire = self.wire_words(kind)
+        if wire <= 0:
+            return 1.0
+        return self.payload_words(kind) / wire
+
+    @property
+    def sieve_dropped(self) -> float:
+        """Candidates dropped by the sender-side sieve, summed over ranks."""
+        return float(sum(r.sieve_dropped for r in self.comm))
+
+    def words_by_kind(self) -> dict[str, float]:
+        """Total words sent per collective kind, across all ranks."""
+        totals: dict[str, float] = {}
+        for rank_stats in self.comm:
+            for kind, words in rank_stats.words_sent.items():
+                totals[kind] = totals.get(kind, 0.0) + words
+        return dict(sorted(totals.items()))
+
+    def payload_by_kind(self) -> dict[str, float]:
+        """Logical words per kind for channel-routed exchanges."""
+        totals: dict[str, float] = {}
+        for rank_stats in self.comm:
+            for kind, words in rank_stats.payload_words.items():
+                totals[kind] = totals.get(kind, 0.0) + words
+        return dict(sorted(totals.items()))
+
+    def words_by_level(self) -> dict[int, dict[str, float]]:
+        """``{level: {kind: wire words}}`` for channel-routed exchanges."""
+        totals: dict[int, dict[str, float]] = {}
+        for rank_stats in self.comm:
+            for level, by_kind in rank_stats.level_wire.items():
+                level_totals = totals.setdefault(level, {})
+                for kind, words in by_kind.items():
+                    level_totals[kind] = level_totals.get(kind, 0.0) + words
+        return {level: totals[level] for level in sorted(totals)}
+
+    def payload_by_level(self) -> dict[int, dict[str, float]]:
+        """``{level: {kind: logical words}}`` for channel-routed exchanges."""
+        totals: dict[int, dict[str, float]] = {}
+        for rank_stats in self.comm:
+            for level, by_kind in rank_stats.level_payload.items():
+                level_totals = totals.setdefault(level, {})
+                for kind, words in by_kind.items():
+                    level_totals[kind] = level_totals.get(kind, 0.0) + words
+        return {level: totals[level] for level in sorted(totals)}
+
     def calls(self, kind: str) -> int:
         """Maximum number of calls of ``kind`` made by any rank."""
         return max((r.calls.get(kind, 0) for r in self.comm), default=0)
@@ -128,7 +225,14 @@ class SimStats:
                 matrix[src, dst] = words
         return matrix
 
-    def summary(self) -> dict[str, float]:
+    def summary(self) -> dict:
+        """Scalar run summary plus per-kind/per-level word breakdowns.
+
+        ``total_words_sent`` counts what actually crossed the simulated
+        wire (post-codec); ``total_payload_words`` is the logical volume
+        of the channel-routed exchanges, so their ratio is the run's
+        compression factor.
+        """
         return {
             "nranks": self.nranks,
             "makespan": self.makespan,
@@ -136,4 +240,11 @@ class SimStats:
             "max_mpi_time": self.max_mpi_time,
             "mean_mpi_time": self.mean_mpi_time,
             "total_words_sent": self.words_sent(),
+            "total_payload_words": self.payload_words(),
+            "total_wire_words": self.wire_words(),
+            "compression_ratio": self.compression_ratio(),
+            "sieve_dropped_candidates": self.sieve_dropped,
+            "words_by_kind": self.words_by_kind(),
+            "payload_by_kind": self.payload_by_kind(),
+            "words_by_level": self.words_by_level(),
         }

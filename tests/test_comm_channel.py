@@ -1,0 +1,185 @@
+"""CommChannel accounting: payload/wire stats, sieve, and reporting.
+
+The channel is the only seam between the algorithms and the wire, so
+these tests pin its bookkeeping contract: raw is the identity (wire ==
+payload, self-buckets excluded), codecs shrink the wire without touching
+the decoded multiset, the sieve drops exactly the already-shipped
+targets, and everything lands in ``SimStats.summary()`` and the
+breakdown table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.report import comm_breakdown_table
+from repro.comm import CommChannel, Sieve, VertexRange
+from repro.core import run_bfs
+from repro.graphs.rmat import rmat_graph
+from repro.mpsim import run_spmd
+
+
+class TestPairAccounting:
+    def test_raw_is_identity_and_excludes_self_bucket(self):
+        """One pair to every rank (self included): payload counts only
+        the off-rank pairs, and raw wire words equal payload words."""
+
+        def fn(comm):
+            ranges = [VertexRange(4 * r, 4) for r in range(comm.size)]
+            channel = CommChannel(comm, ranges, codec="raw")
+            targets = np.arange(comm.size, dtype=np.int64) * 4
+            parents = np.full(comm.size, comm.rank, dtype=np.int64)
+            owners = np.arange(comm.size, dtype=np.int64)
+            send, info = channel.pack_pairs(targets, parents, owners)
+            rv, rp = channel.exchange_pairs(send, info, level=0)
+            assert info.pairs == comm.size
+            assert info.payload_words == 2.0 * (comm.size - 1)
+            assert info.wire_words == info.payload_words
+            assert info.dropped == 0
+            # Every rank addressed vertex 4*rank to this rank's range.
+            assert rv.size == comm.size
+            assert np.all(rv == 4 * comm.rank)
+            assert np.array_equal(np.sort(rp), np.arange(comm.size))
+            return True
+
+        res = run_spmd(4, fn)
+        assert all(res.returns)
+        assert res.stats.payload_words("alltoallv") == 4 * 6.0
+        assert res.stats.wire_words("alltoallv") == 4 * 6.0
+        assert res.stats.compression_ratio("alltoallv") == 1.0
+
+    def test_delta_varint_shrinks_wire_and_preserves_pairs(self):
+        """A consecutive id block delta-encodes to 1-byte varints: the
+        wire shrinks well past 2x and the decoded pairs are intact."""
+
+        def fn(comm):
+            per = 128
+            ranges = [VertexRange(per * r, per) for r in range(comm.size)]
+            channel = CommChannel(comm, ranges, codec="delta-varint")
+            dst = (comm.rank + 1) % comm.size
+            targets = np.arange(per * dst, per * (dst + 1), dtype=np.int64)
+            parents = np.full(per, comm.rank, dtype=np.int64)
+            owners = np.full(per, dst, dtype=np.int64)
+            send, info = channel.pack_pairs(targets, parents, owners)
+            rv, rp = channel.exchange_pairs(send, info, level=3)
+            assert info.payload_words == 2.0 * per
+            assert 0 < info.wire_words < info.payload_words / 2
+            assert np.array_equal(
+                np.sort(rv), np.arange(per * comm.rank, per * (comm.rank + 1))
+            )
+            assert np.all(rp == (comm.rank - 1) % comm.size)
+            return True
+
+        res = run_spmd(4, fn)
+        assert all(res.returns)
+        stats = res.stats
+        assert 0 < stats.wire_words("alltoallv") < stats.payload_words("alltoallv")
+        assert stats.compression_ratio("alltoallv") > 2.0
+        summary = stats.summary()
+        for key in (
+            "total_payload_words",
+            "total_wire_words",
+            "compression_ratio",
+            "sieve_dropped_candidates",
+            "words_by_kind",
+            "payload_by_kind",
+            "words_by_level",
+        ):
+            assert key in summary, key
+        assert 3 in summary["words_by_level"]
+        assert summary["compression_ratio"] > 2.0
+
+    def test_sieve_drops_resends_exactly_once(self):
+        def fn(comm):
+            ranges = [VertexRange(8 * r, 8) for r in range(comm.size)]
+            sieve = Sieve(8 * comm.size)
+            channel = CommChannel(comm, ranges, codec="raw", sieve=sieve)
+            dst = (comm.rank + 1) % comm.size
+            targets = np.arange(8 * dst, 8 * dst + 4, dtype=np.int64)
+            parents = np.zeros(4, dtype=np.int64)
+            owners = np.full(4, dst, dtype=np.int64)
+            send, first = channel.pack_pairs(targets, parents, owners)
+            channel.exchange_pairs(send, first, level=0)
+            send, second = channel.pack_pairs(targets, parents, owners)
+            channel.exchange_pairs(send, second, level=1)
+            assert first.dropped == 0 and first.pairs == 4
+            assert second.dropped == 4 and second.pairs == 0
+            assert second.payload_words == second.wire_words == 0.0
+            assert sieve.dropped == 4
+            return True
+
+        res = run_spmd(3, fn)
+        assert all(res.returns)
+        assert res.stats.sieve_dropped == 3 * 4
+
+
+class TestGatherAccounting:
+    def test_expand_bitmap_counts_words_and_marks_sieve(self):
+        def fn(comm):
+            nbits = 64
+            ranges = [VertexRange(nbits * r, nbits) for r in range(comm.size)]
+            sieve = Sieve(nbits * comm.size)
+            channel = CommChannel(comm, ranges, codec="raw", sieve=sieve)
+            mine = ranges[comm.rank]
+            frontier = np.arange(mine.lo, mine.lo + 4, dtype=np.int64)
+            mask, info = channel.expand_bitmap(frontier, level=0)
+            assert mask.size == nbits * comm.size
+            assert int(mask.sum()) == 4 * comm.size
+            assert info.payload_words == info.wire_words == 1.0  # 64 bits
+            # The gathered frontier is globally visited: all marked.
+            assert int(sieve.seen.sum()) == 4 * comm.size
+            return True
+
+        assert all(run_spmd(2, fn).returns)
+
+    def test_allgatherv_vertices_rank_order(self):
+        def fn(comm):
+            ranges = [VertexRange(10 * r, 10) for r in range(comm.size)]
+            channel = CommChannel(comm, ranges, codec="delta-varint")
+            mine = np.array([10 * comm.rank + 1, 10 * comm.rank + 7], np.int64)
+            gathered, info = channel.allgatherv_vertices(mine, level=2)
+            want = np.concatenate(
+                [[10 * r + 1, 10 * r + 7] for r in range(comm.size)]
+            )
+            assert np.array_equal(gathered, want)
+            assert info.payload_words == 2.0
+            return True
+
+        assert all(run_spmd(3, fn).returns)
+
+
+class TestValidationAndReporting:
+    def test_channel_requires_one_range_per_rank(self):
+        def fn(comm):
+            with pytest.raises(ValueError, match="VertexRange per group rank"):
+                CommChannel(comm, [VertexRange(0, 4)] * (comm.size + 1))
+            return True
+
+        assert all(run_spmd(2, fn).returns)
+
+    def test_serial_families_reject_wire_options(self):
+        graph = rmat_graph(6, 8, seed=5)
+        with pytest.raises(ValueError, match="codec/sieve"):
+            run_bfs(graph, 0, "serial", codec="delta-varint")
+        with pytest.raises(ValueError, match="codec/sieve"):
+            run_bfs(graph, 0, "graph500-ref", nprocs=2, sieve=True)
+
+    def test_comm_breakdown_table_from_run(self):
+        graph = rmat_graph(8, 8, seed=2)
+        res = run_bfs(
+            graph, 17, "1d", nprocs=4, codec="delta-varint", sieve=True
+        )
+        stats = res.stats
+        assert stats.wire_words("alltoallv") < stats.payload_words("alltoallv")
+        table = comm_breakdown_table(stats)
+        kinds = {row[1] for row in table.rows if row[0] == "total"}
+        assert "alltoallv" in kinds
+        ratio = {
+            row[1]: row[4] for row in table.rows if row[0] == "total"
+        }["alltoallv"]
+        assert ratio > 1.0
+        level_rows = [r for r in table.rows if str(r[0]).startswith("level")]
+        assert level_rows, "per-level rows missing"
+        rendered = table.render()
+        assert "payload words" in rendered and "wire words" in rendered

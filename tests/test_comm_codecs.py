@@ -1,0 +1,304 @@
+"""Round-trip property tests for the ``repro.comm`` wire-format codecs.
+
+Every codec must reproduce the shipped (vertex, parent) multiset up to
+the receiver-side (select, max) dedup — including the empty buffer, a
+single element, adversarial delta gaps, and ids at the top of the int64
+range.  The varint primitives get their own exhaustive round-trips since
+every other codec property rests on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CODECS,
+    AutoCodec,
+    BitmapCodec,
+    DeltaVarintCodec,
+    RawCodec,
+    VertexRange,
+    decode_varints,
+    encode_varints,
+    get_codec,
+    varint_sizes,
+)
+from repro.comm.varint import MAX_VARINT_BYTES, bytes_to_words, words_to_bytes
+from repro.core.frontier import dedup_candidates
+
+MAX_ID = 2**63 - 1
+ALL_CODECS = sorted(CODECS)
+#: Codecs that preserve the pair multiset exactly (reordering allowed).
+#: bitmap/auto may instead collapse duplicates with the receiver's
+#: (select, max) rule, which the BFS applies anyway.
+MULTISET_CODECS = ("raw", "delta-varint")
+
+int64s = st.integers(-(2**63), MAX_ID)
+vertex_ids = st.integers(0, MAX_ID)
+
+
+def _norm(targets, parents):
+    """Order-insensitive canonical form of a pair multiset."""
+    targets = np.asarray(targets, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    order = np.lexsort((parents, targets))
+    return targets[order], parents[order]
+
+
+def assert_pairs_roundtrip(name, targets, parents, ctx):
+    codec = get_codec(name)
+    targets = np.asarray(targets, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    wire = codec.encode_pairs(targets, parents, ctx)
+    assert wire.dtype == np.int64
+    assert (wire.size == 0) == (targets.size == 0)
+    got_t, got_p = codec.decode_pairs(wire, ctx)
+    if name in MULTISET_CODECS:
+        want = _norm(targets, parents)
+        got = _norm(got_t, got_p)
+    else:
+        want = dedup_candidates(targets, parents)
+        got = dedup_candidates(got_t, got_p)
+    assert np.array_equal(got[0], want[0]), name
+    assert np.array_equal(got[1], want[1]), name
+
+
+@st.composite
+def pair_case(draw):
+    """Unranged pairs: full-range vertex ids, arbitrary int64 parents."""
+    n = draw(st.integers(0, 60))
+    targets = draw(st.lists(vertex_ids, min_size=n, max_size=n))
+    parents = draw(st.lists(int64s, min_size=n, max_size=n))
+    return np.array(targets, np.int64), np.array(parents, np.int64)
+
+
+@st.composite
+def ranged_pair_case(draw):
+    """Pairs confined to an owned VertexRange (what exchanges ship)."""
+    nbits = draw(st.integers(1, 192))
+    lo = draw(st.integers(0, MAX_ID - nbits))
+    n = draw(st.integers(0, 60))
+    targets = draw(
+        st.lists(st.integers(lo, lo + nbits - 1), min_size=n, max_size=n)
+    )
+    parents = draw(st.lists(int64s, min_size=n, max_size=n))
+    return (
+        VertexRange(lo, nbits),
+        np.array(targets, np.int64),
+        np.array(parents, np.int64),
+    )
+
+
+class TestPairRoundTrips:
+    @pytest.mark.parametrize("name", ["raw", "delta-varint", "auto"])
+    @settings(max_examples=50, deadline=None)
+    @given(pair_case())
+    def test_without_range_context(self, name, case):
+        targets, parents = case
+        assert_pairs_roundtrip(name, targets, parents, ctx=None)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @settings(max_examples=50, deadline=None)
+    @given(ranged_pair_case())
+    def test_with_range_context(self, name, case):
+        ctx, targets, parents = case
+        assert_pairs_roundtrip(name, targets, parents, ctx)
+
+
+class TestSetRoundTrips:
+    @pytest.mark.parametrize("name", ["raw", "delta-varint", "auto"])
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(vertex_ids, max_size=60))
+    def test_sparse(self, name, vertices):
+        codec = get_codec(name)
+        v = np.array(vertices, np.int64)
+        out = codec.decode_set(codec.encode_set(v), dense=False)
+        assert np.array_equal(np.sort(out), np.sort(v))
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @settings(max_examples=50, deadline=None)
+    @given(ranged_pair_case())
+    def test_dense(self, name, case):
+        """Dense sets are presence sets: round-trips up to uniqueness."""
+        ctx, vertices, _ = case
+        codec = get_codec(name)
+        wire = codec.encode_set(vertices, ctx, dense=True)
+        out = codec.decode_set(wire, ctx, dense=True)
+        assert np.array_equal(np.unique(out), np.unique(vertices))
+
+
+class TestEdgeCases:
+    CTX = VertexRange(MAX_ID - 63, 64)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_empty_pairs(self, name):
+        codec = get_codec(name)
+        empty = np.empty(0, np.int64)
+        wire = codec.encode_pairs(empty, empty, self.CTX)
+        assert wire.size == 0
+        t, p = codec.decode_pairs(wire, self.CTX)
+        assert t.size == p.size == 0
+        assert t.dtype == p.dtype == np.int64
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @pytest.mark.parametrize("dense", [False, True])
+    def test_empty_set(self, name, dense):
+        codec = get_codec(name)
+        empty = np.empty(0, np.int64)
+        wire = codec.encode_set(empty, self.CTX, dense=dense)
+        if not (name == "raw" and dense):
+            assert wire.size <= 1  # raw dense ships the (all-zero) bitmap
+        out = codec.decode_set(wire, self.CTX, dense=dense)
+        assert out.size == 0 and out.dtype == np.int64
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @pytest.mark.parametrize("parent", [0, -(2**63), MAX_ID])
+    def test_single_pair_at_int64_extremes(self, name, parent):
+        assert_pairs_roundtrip(
+            name, [MAX_ID], [parent], self.CTX
+        )
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_adversarial_deltas(self, name):
+        """Near-maximal gaps between consecutive sorted ids: the deltas
+        themselves are ~2**63 and need the full 10-byte varint."""
+        lo = 0
+        ctx = VertexRange(lo, 0)  # bitmap inapplicable; auto must skip it
+        targets = np.array([0, 1, MAX_ID - 1, MAX_ID], np.int64)
+        parents = np.array([MAX_ID, 0, -1, -(2**63)], np.int64)
+        if name == "bitmap":
+            # A bitmap over the full id space is absurd; the codec is
+            # simply not applicable here (auto knows to skip it).
+            with pytest.raises(ValueError):
+                get_codec(name).encode_pairs(targets, parents, None)
+            return
+        assert_pairs_roundtrip(name, targets, parents, ctx=None if name != "auto" else ctx)
+
+    def test_duplicate_targets_keep_max_parent(self):
+        """Codecs that dedup must apply exactly the receiver's rule."""
+        ctx = VertexRange(10, 8)
+        targets = np.array([12, 12, 15, 12], np.int64)
+        parents = np.array([3, 9, 1, 7], np.int64)
+        for name in ("bitmap", "auto"):
+            t, p = get_codec(name).decode_pairs(
+                get_codec(name).encode_pairs(targets, parents, ctx), ctx
+            )
+            want_t, want_p = dedup_candidates(targets, parents)
+            got_t, got_p = dedup_candidates(t, p)
+            assert np.array_equal(got_t, want_t)
+            assert np.array_equal(got_p, want_p)
+
+
+class TestAutoPolicy:
+    def test_picks_smallest_image_plus_tag(self):
+        ctx = VertexRange(0, 256)
+        auto = AutoCodec()
+        candidates = (RawCodec(), DeltaVarintCodec(), BitmapCodec())
+        dense = np.arange(256, dtype=np.int64)
+        sparse = np.array([3, 250], dtype=np.int64)
+        for targets in (dense, sparse):
+            parents = targets % 7
+            best = min(
+                c.encode_pairs(targets, parents, ctx).size for c in candidates
+            )
+            wire = auto.encode_pairs(targets, parents, ctx)
+            assert wire.size == best + 1
+
+    def test_dense_set_selects_bitmap(self):
+        """A full frontier piece: the bitmap (8 words for 512 vertices)
+        beats even 1-byte varint deltas, and auto must find it."""
+        ctx = VertexRange(0, 512)
+        vertices = np.arange(512, dtype=np.int64)
+        wire = AutoCodec().encode_set(vertices, ctx)
+        bitmap = BitmapCodec().encode_set(vertices, ctx)
+        assert wire.size == bitmap.size + 1
+
+
+class TestVarints:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(int64s, max_size=80))
+    def test_roundtrip_and_sizes(self, values):
+        v = np.array(values, np.int64)
+        stream = encode_varints(v)
+        assert np.array_equal(decode_varints(stream), v)
+        assert stream.size == int(varint_sizes(v).sum()) if v.size else stream.size == 0
+
+    def test_boundary_sizes(self):
+        for k in range(1, MAX_VARINT_BYTES):
+            below = np.array([(1 << (7 * k)) - 1], np.int64)
+            above = np.array([1 << (7 * k)], np.int64) if 7 * k < 63 else None
+            assert varint_sizes(below)[0] == k
+            assert encode_varints(below).size == k
+            if above is not None:
+                assert varint_sizes(above)[0] == k + 1
+        # Negative values view as >= 2**63 and always need all 10 bytes.
+        assert varint_sizes(np.array([-1], np.int64))[0] == MAX_VARINT_BYTES
+
+    def test_truncated_stream_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varints(np.array([0x80], np.uint8))
+
+    def test_overlong_varint_raises(self):
+        stream = np.array([0x80] * MAX_VARINT_BYTES + [0x00], np.uint8)
+        with pytest.raises(ValueError, match="longer than"):
+            decode_varints(stream)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_word_packing_roundtrip(self, raw):
+        stream = np.frombuffer(raw, dtype=np.uint8)
+        words = bytes_to_words(stream)
+        assert words.size == (stream.size + 7) // 8
+        assert np.array_equal(words_to_bytes(words, stream.size), stream)
+
+    def test_words_to_bytes_range_checked(self):
+        words = bytes_to_words(np.arange(5, dtype=np.uint8))
+        for nbytes in (-1, 8 * words.size + 1):
+            with pytest.raises(ValueError, match="out of range"):
+                words_to_bytes(words, nbytes)
+
+
+class TestValidation:
+    def test_get_codec_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("zstd")
+
+    def test_get_codec_instance_passthrough(self):
+        codec = DeltaVarintCodec()
+        assert get_codec(codec) is codec
+
+    def test_vertex_range_rejects_negative_width(self):
+        with pytest.raises(ValueError, match="nbits"):
+            VertexRange(0, -1)
+
+    def test_bitmap_requires_context(self):
+        codec = BitmapCodec()
+        one = np.array([1], np.int64)
+        for call in (
+            lambda: codec.encode_pairs(one, one, None),
+            lambda: codec.decode_pairs(one, None),
+            lambda: codec.encode_set(one, None),
+            lambda: codec.decode_set(one, None),
+        ):
+            with pytest.raises(ValueError, match="VertexRange"):
+                call()
+
+    def test_corrupt_delta_varint_header_raises(self):
+        codec = DeltaVarintCodec()
+        wire = codec.encode_pairs(np.array([5], np.int64), np.array([1], np.int64))
+        wire = wire.copy()
+        wire[0] = 2  # claim two pairs; the stream holds one
+        with pytest.raises(ValueError, match="corrupt"):
+            codec.decode_pairs(wire)
+
+    def test_corrupt_bitmap_parent_count_raises(self):
+        ctx = VertexRange(0, 64)
+        codec = BitmapCodec()
+        wire = codec.encode_pairs(
+            np.array([3, 9], np.int64), np.array([1, 2], np.int64), ctx
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            codec.decode_pairs(wire[:-1], ctx)

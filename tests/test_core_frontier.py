@@ -40,6 +40,83 @@ class TestDedupCandidates:
         assert np.array_equal(p1, p2)
 
 
+def _dedup_oracle(targets, parents):
+    """Pure-Python (select, max) reference for dedup_candidates."""
+    best = {}
+    for t, p in zip(np.asarray(targets).tolist(), np.asarray(parents).tolist()):
+        if t not in best or p > best[t]:
+            best[t] = p
+    keys = sorted(best)
+    return (
+        np.array(keys, dtype=np.int64),
+        np.array([best[t] for t in keys], dtype=np.int64),
+    )
+
+
+class TestDedupBranches:
+    """dedup_candidates has a composite-key fast path plus a lexsort
+    fallback for inputs whose ``target * span + parent`` key would not
+    fit an int64; both must produce identical (select, max) output."""
+
+    def _check(self, targets, parents):
+        targets = np.asarray(targets, dtype=np.int64)
+        parents = np.asarray(parents, dtype=np.int64)
+        t, p = dedup_candidates(targets, parents)
+        want_t, want_p = _dedup_oracle(targets, parents)
+        assert np.array_equal(t, want_t)
+        assert np.array_equal(p, want_p)
+
+    def test_negative_parent_forces_lexsort(self):
+        # parents.min() < 0 disqualifies the composite key outright.
+        self._check([7, 3, 7, 3], [-1, 5, 2, -1])
+
+    def test_all_negative_parents(self):
+        self._check([4, 4, 9], [-3, -1, -2])
+
+    def test_huge_targets_force_lexsort(self):
+        base = 1 << 61
+        self._check(
+            [base + 5, base + 2, base + 5, base + 2],
+            [1, 9, 4, 3],
+        )
+
+    def test_huge_parent_span_forces_lexsort(self):
+        # span = parents.max() + 1 > 2**62: the key would overflow even
+        # for tiny targets (and parents near 2**63 would wrap span itself).
+        self._check([1, 2, 1, 1], [2**62 + 3, 0, 2**62 + 9, 2**63 - 1])
+
+    def test_branches_agree_under_target_shift(self):
+        """The same logical input pushed through both branches: shifting
+        every target by 2**61 flips the composite guard without changing
+        the dedup structure, so results must match after unshifting."""
+        rng = np.random.default_rng(7)
+        targets = rng.integers(0, 100, 400)
+        parents = rng.integers(0, 50, 400)
+        fast_t, fast_p = dedup_candidates(targets, parents)
+        shift = np.int64(1) << 61
+        slow_t, slow_p = dedup_candidates(targets + shift, parents)
+        assert np.array_equal(slow_t - shift, fast_t)
+        assert np.array_equal(slow_p, fast_p)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2**63 - 1),
+                st.integers(-(2**63), 2**63 - 1),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_oracle_agreement_full_int64_range(self, pairs):
+        """Whichever branch fires, output matches the dict-max oracle —
+        including spans and targets that sit right on the overflow guard."""
+        targets = [t for t, _ in pairs]
+        parents = [p for _, p in pairs]
+        self._check(targets, parents)
+
+
 class TestPackUnpack:
     def test_round_trip(self):
         v = np.array([1, 2, 3], dtype=np.int64)

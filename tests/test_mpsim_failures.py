@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.comm import RawCodec
+from repro.core.bfs1d import bfs_1d
 from repro.core.bfs_dirop import bfs_1d_dirop
 from repro.graphs.rmat import rmat_graph
 from repro.mpsim import run_spmd
@@ -121,6 +123,52 @@ class TestBottomUpExpandFailure:
         )
         res = run_spmd(4, bfs_1d_dirop, graph.csr, source, alpha=1e9)
         assert all(r["nlevels"] >= 1 for r in res.returns)
+
+
+def _rmat_case():
+    graph = rmat_graph(9, 16, seed=1)
+    source = int(
+        np.asarray(
+            graph.to_internal(
+                int(graph.random_nonisolated_vertices(1, seed=2)[0])
+            )
+        )
+    )
+    return graph, source
+
+
+class TestMidDecodeFailure:
+    def test_crash_mid_decode_releases_peers(self):
+        """A rank raising while decoding its received buffers dies *after*
+        the Alltoallv but before the termination Allreduce; the peers are
+        already parked in (or heading into) the next collective and must
+        be released with the originating rank reported, not deadlock."""
+        graph, source = _rmat_case()
+
+        def fn(comm):
+            class FailingDecode(RawCodec):
+                def decode_pairs(self, wire, ctx=None):
+                    if comm.rank == 1:
+                        raise RuntimeError("bit flip in the receive buffer")
+                    return super().decode_pairs(wire, ctx)
+
+            # Codec *instances* are accepted wherever names are; that is
+            # what makes this injection possible from outside the comm
+            # package.
+            return bfs_1d(comm, graph.csr, source, codec=FailingDecode())
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            run_spmd(4, fn)
+
+    def test_codec_instance_control_completes(self):
+        # Control: the same harness minus the injected raise terminates
+        # and matches the name-configured raw codec.
+        graph, source = _rmat_case()
+        res = run_spmd(4, bfs_1d, graph.csr, source, codec=RawCodec())
+        ref = run_spmd(4, bfs_1d, graph.csr, source, codec="raw")
+        for got, want in zip(res.returns, ref.returns):
+            assert np.array_equal(got["levels"], want["levels"])
+            assert np.array_equal(got["parents"], want["parents"])
 
 
 class TestTimeout:

@@ -122,6 +122,33 @@ def test_oracle_equivalence_deterministic(algorithm, case):
         assert np.array_equal(res.parents, ref.parents), (case, nprocs)
 
 
+#: Families that route their exchanges through ``repro.comm``; the wire
+#: format must never change what the traversal computes.
+WIRE_ALGORITHMS = ["1d", "1d-dirop", "2d"]
+
+
+@pytest.mark.parametrize("codec", ["raw", "delta-varint", "bitmap", "auto"])
+@pytest.mark.parametrize("algorithm", WIRE_ALGORITHMS)
+@pytest.mark.parametrize("case", ["rmat", "disconnected"])
+def test_codecs_preserve_oracle_equivalence(codec, algorithm, case):
+    """Every codec (with the sieve on, the most invasive configuration)
+    leaves levels and parents bit-identical to the serial oracle, for
+    every algorithm family that ships through the comm channel."""
+    graph, source = ORACLE_CASES[case]
+    ref = run_bfs(graph, source, "serial")
+    res = run_bfs(
+        graph,
+        source,
+        algorithm,
+        nprocs=3,
+        codec=codec,
+        sieve=True,
+        validate=True,
+    )
+    assert np.array_equal(res.levels, ref.levels), (codec, algorithm, case)
+    assert np.array_equal(res.parents, ref.parents), (codec, algorithm, case)
+
+
 @settings(max_examples=40, deadline=None)
 @given(small_graphs())
 def test_output_passes_graph500_validation(case):

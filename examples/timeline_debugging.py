@@ -9,6 +9,11 @@ glance — watch the off-diagonal ranks sit inside collectives (waiting for
 the diagonal's merge) under the 1D vector distribution, and the balanced
 rows under the 2D distribution.
 
+For structured profiling — critical paths, per-phase time decompositions,
+straggler attribution, Chrome traces — use the ``repro.obs`` tracing
+subsystem instead; see ``examples/trace_profiling.py`` and
+``docs/observability.md``.
+
 Run::
 
     python examples/timeline_debugging.py

@@ -49,6 +49,14 @@ from repro.model import (
 )
 from repro.graph500 import Graph500Result, run_graph500
 from repro.mpsim import ProcessorGrid, run_spmd
+from repro.obs import (
+    Tracer,
+    critical_path,
+    perf_diff,
+    run_report,
+    write_chrome_trace,
+    write_run_report,
+)
 
 __version__ = "1.0.0"
 
@@ -82,5 +90,11 @@ __all__ = [
     "run_graph500",
     "ProcessorGrid",
     "run_spmd",
+    "Tracer",
+    "critical_path",
+    "perf_diff",
+    "run_report",
+    "write_chrome_trace",
+    "write_run_report",
     "__version__",
 ]

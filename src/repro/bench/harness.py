@@ -88,14 +88,23 @@ def average_bfs(
     nprocs: int,
     machine: MachineConfig | str,
     sources: list[int] | None = None,
+    tracer=None,
     **kwargs,
 ) -> AveragedRun:
-    """Run one configuration over several sources and average the metrics."""
+    """Run one configuration over several sources and average the metrics.
+
+    ``tracer`` (an optional :class:`~repro.obs.Tracer`) records phase
+    spans for the *first* source only: virtual time restarts at zero each
+    traversal, so one tracer describes one run.
+    """
     if sources is None:
         sources = pick_sources(graph)
     results = [
-        run_bfs(graph, s, algorithm, nprocs=nprocs, machine=machine, **kwargs)
-        for s in sources
+        run_bfs(
+            graph, s, algorithm, nprocs=nprocs, machine=machine,
+            tracer=tracer if i == 0 else None, **kwargs,
+        )
+        for i, s in enumerate(sources)
     ]
     times = np.array([r.time_total for r in results])
     comms = np.array([r.time_comm for r in results])

@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import isfinite, isnan
 from pathlib import Path
 
 
 def _format_cell(value) -> str:
     if isinstance(value, float):
-        if value == 0:
+        if isnan(value):
+            return "nan"
+        if not isfinite(value):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:  # covers -0.0: a sign on zero is table noise
             return "0"
         if abs(value) >= 1000 or abs(value) < 0.01:
             return f"{value:.3g}"

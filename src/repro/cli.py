@@ -11,6 +11,14 @@ Regenerates the paper's tables and figures::
 and runs the Graph 500 benchmark flow::
 
     repro-bench graph500 --scale 15 --algorithm 2d-hybrid --machine hopper
+
+With ``--trace-out``/``--report-out`` the graph500 flow additionally
+writes a Chrome ``trace_event`` file (open in Perfetto) and the
+machine-readable run report of the first search; reports feed the
+perf-regression gate::
+
+    repro-bench graph500 --scale 13 --report-out base.json
+    repro-bench perf-diff base.json candidate.json --threshold 0.05
 """
 
 from __future__ import annotations
@@ -80,6 +88,24 @@ def build_parser() -> argparse.ArgumentParser:
             "frontier shrinks below n/beta vertices (default: DIROP_BETA)"
         ),
     )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a Chrome trace_event JSON of the first search "
+            "(open in Perfetto / chrome://tracing)"
+        ),
+    )
+    group.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the machine-readable run report of the first search "
+            "(input to 'repro-bench perf-diff')"
+        ),
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -99,7 +125,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_perf_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench perf-diff",
+        description=(
+            "Compare two run reports (written with --report-out) and fail "
+            "on performance regression."
+        ),
+    )
+    parser.add_argument("baseline", help="baseline run-report JSON")
+    parser.add_argument("candidate", help="candidate run-report JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed relative slowdown on gated metrics (default: 0.05)",
+    )
+    return parser
+
+
+def _run_perf_diff(argv: list[str]) -> int:
+    from repro.obs.regress import DEFAULT_THRESHOLD, perf_diff
+
+    args = build_perf_diff_parser().parse_args(argv)
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    try:
+        diff = perf_diff(args.baseline, args.candidate, threshold=threshold)
+    except (OSError, ValueError) as exc:
+        print(f"perf-diff: {exc}", file=sys.stderr)
+        return 2
+    print(diff.render())
+    return 0 if diff.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The main parser's positional would swallow the report paths, so the
+    # perf-diff subcommand is dispatched before it.
+    if argv and argv[0] == "perf-diff":
+        return _run_perf_diff(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
@@ -111,6 +176,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "graph500":
         from repro.graph500 import run_graph500
 
+        tracer = None
+        if args.trace_out or args.report_out:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
         result = run_graph500(
             scale=args.scale,
             edgefactor=args.edgefactor,
@@ -123,8 +193,18 @@ def main(argv: list[str] | None = None) -> int:
             sieve=args.sieve,
             dirop_alpha=args.dirop_alpha,
             dirop_beta=args.dirop_beta,
+            tracer=tracer,
         )
         print(result.report())
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            print(f"wrote {write_chrome_trace(args.trace_out, tracer)}")
+        if args.report_out:
+            from repro.obs import run_report, write_run_report
+
+            report = run_report(result.searches[0])
+            print(f"wrote {write_run_report(args.report_out, report)}")
         return 0
 
     if args.experiment == "all":

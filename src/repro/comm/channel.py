@@ -12,9 +12,13 @@ through it.  The channel
   prices the *encoded* size — compression is modeled speedup),
 * records both ``payload_words`` (logical, pre-codec) and ``wire_words``
   (post-codec) per collective kind and per BFS level on the rank's
-  :class:`~repro.mpsim.stats.RankStats`, and
+  :class:`~repro.mpsim.stats.RankStats`,
 * charges the encode/decode compute through the site's
-  :class:`~repro.model.costmodel.Charger`.
+  :class:`~repro.model.costmodel.Charger`, and
+* when a :class:`~repro.obs.tracer.RankTracer` is installed, wraps the
+  sieve, codec encode/decode, and the collective itself in virtual-time
+  phase spans (``sieve``/``encode``/``alltoallv``/``allgatherv``/
+  ``decode``) nested under the algorithm's per-level spans.
 
 Under the default ``codec="raw"`` with the sieve off, the channel is a
 strict pass-through: byte-identical buffers, zero additional compute
@@ -31,6 +35,7 @@ import numpy as np
 from repro.comm.codecs import Codec, VertexRange, get_codec
 from repro.comm.sieve import Sieve
 from repro.core.frontier import bitmap_words, bucket_by_owner
+from repro.obs.tracer import NULL_RANK_TRACER
 
 #: Bytes per boolean in the sieve's ``seen`` array; its random-access
 #: working set in 64-bit words is ``nglobal / 8``.
@@ -77,6 +82,7 @@ class CommChannel:
         codec: str | Codec = "raw",
         sieve: Sieve | None = None,
         charger=None,
+        tracer=None,
     ):
         if len(ranges) != comm.size:
             raise ValueError(
@@ -87,6 +93,9 @@ class CommChannel:
         self.codec = get_codec(codec)
         self.sieve = sieve
         self.charger = charger
+        #: Per-rank span recorder (a :class:`repro.obs.RankTracer`); the
+        #: shared no-op handle when the run is untraced.
+        self.obs = tracer if tracer is not None else NULL_RANK_TRACER
 
     # -- internal helpers ---------------------------------------------------
     @property
@@ -130,33 +139,39 @@ class CommChannel:
         parents = np.asarray(parents, dtype=np.int64)
         owners = np.asarray(owners, dtype=np.int64)
         if self.sieve is not None:
-            before = targets.size
-            if self.charger is not None and before:
-                # One irregular probe per candidate into the seen bitmask.
-                self.charger.random(
-                    float(before),
-                    ws_words=max(self.sieve.nglobal / _SIEVE_BYTES_PER_FLAG, 1.0),
+            with self.obs.span("sieve"):
+                before = targets.size
+                if self.charger is not None and before:
+                    # One irregular probe per candidate into the seen bitmask.
+                    self.charger.random(
+                        float(before),
+                        ws_words=max(self.sieve.nglobal / _SIEVE_BYTES_PER_FLAG, 1.0),
+                    )
+                targets, parents, owners = self.sieve.filter(
+                    targets, parents, owners
                 )
-            targets, parents, owners = self.sieve.filter(targets, parents, owners)
-            dropped = int(before - targets.size)
-            if self.charger is not None and dropped:
-                self.charger.count(sieve_dropped=float(dropped))
-            self.sieve.mark(targets)
+                dropped = int(before - targets.size)
+                if self.charger is not None and dropped:
+                    self.charger.count(sieve_dropped=float(dropped))
+                self.sieve.mark(targets)
         else:
             dropped = 0
-        buckets, _counts = bucket_by_owner(
-            owners, self.comm.size, targets, parents
-        )
-        me = self.comm.rank
-        send: list[np.ndarray] = []
-        payload = wire = 0.0
-        for dst, (dst_targets, dst_parents) in enumerate(buckets):
-            buf = self.codec.encode_pairs(dst_targets, dst_parents, self.ranges[dst])
-            send.append(buf)
-            if dst != me:
-                payload += 2.0 * dst_targets.size
-                wire += float(buf.size)
-        self._charge_encode(float(targets.size), 2.0 * targets.size, wire)
+        with self.obs.span("encode", codec=self.codec.name):
+            buckets, _counts = bucket_by_owner(
+                owners, self.comm.size, targets, parents
+            )
+            me = self.comm.rank
+            send: list[np.ndarray] = []
+            payload = wire = 0.0
+            for dst, (dst_targets, dst_parents) in enumerate(buckets):
+                buf = self.codec.encode_pairs(
+                    dst_targets, dst_parents, self.ranges[dst]
+                )
+                send.append(buf)
+                if dst != me:
+                    payload += 2.0 * dst_targets.size
+                    wire += float(buf.size)
+            self._charge_encode(float(targets.size), 2.0 * targets.size, wire)
         info = ExchangeInfo(int(targets.size), payload, wire, dropped)
         return send, info
 
@@ -170,19 +185,21 @@ class CommChannel:
         ``unpack_pairs`` under the raw codec.
         """
         self._record("alltoallv", info, level)
-        pieces = self.comm.alltoallv(send)
-        ctx = self.ranges[self.comm.rank]
-        decoded = [self.codec.decode_pairs(piece, ctx) for piece in pieces]
-        if decoded:
-            rv = np.concatenate([t for t, _ in decoded])
-            rp = np.concatenate([p for _, p in decoded])
-        else:
-            rv = np.empty(0, dtype=np.int64)
-            rp = np.empty(0, dtype=np.int64)
-        self._charge_decode(
-            float(rv.size),
-            float(sum(p.size for p in pieces)),
-        )
+        with self.obs.span("alltoallv", level=level, wire_words=info.wire_words):
+            pieces = self.comm.alltoallv(send)
+        with self.obs.span("decode", codec=self.codec.name):
+            ctx = self.ranges[self.comm.rank]
+            decoded = [self.codec.decode_pairs(piece, ctx) for piece in pieces]
+            if decoded:
+                rv = np.concatenate([t for t, _ in decoded])
+                rp = np.concatenate([p for _, p in decoded])
+            else:
+                rv = np.empty(0, dtype=np.int64)
+                rp = np.empty(0, dtype=np.int64)
+            self._charge_decode(
+                float(rv.size),
+                float(sum(p.size for p in pieces)),
+            )
         return rv, rp
 
     # -- frontier gathers (bottom-up expand, 2D expand) ---------------------
@@ -198,22 +215,25 @@ class CommChannel:
         """
         frontier = np.asarray(frontier, dtype=np.int64)
         mine = self.ranges[self.comm.rank]
-        payload = float(bitmap_words(mine.nbits))
-        buf = self.codec.encode_set(frontier, mine, dense=True)
-        self._charge_encode(float(frontier.size), payload, float(buf.size))
+        with self.obs.span("encode", codec=self.codec.name):
+            payload = float(bitmap_words(mine.nbits))
+            buf = self.codec.encode_set(frontier, mine, dense=True)
+            self._charge_encode(float(frontier.size), payload, float(buf.size))
         info = ExchangeInfo(int(frontier.size), payload, float(buf.size), 0)
         self._record("allgatherv", info, level)
-        pieces = self.comm.allgatherv(buf, concat=False)
-        nglobal = sum(r.nbits for r in self.ranges)
-        mask = np.zeros(nglobal, dtype=bool)
-        wire_recv = 0.0
-        for r, piece in enumerate(pieces):
-            vertices = self.codec.decode_set(piece, self.ranges[r], dense=True)
-            mask[vertices] = True
-            wire_recv += float(np.asarray(piece).size)
-        self._charge_decode(float(nglobal) / 64.0, wire_recv)
-        if self.sieve is not None:
-            self.sieve.mark_mask(mask)
+        with self.obs.span("allgatherv", level=level, wire_words=info.wire_words):
+            pieces = self.comm.allgatherv(buf, concat=False)
+        with self.obs.span("decode", codec=self.codec.name):
+            nglobal = sum(r.nbits for r in self.ranges)
+            mask = np.zeros(nglobal, dtype=bool)
+            wire_recv = 0.0
+            for r, piece in enumerate(pieces):
+                vertices = self.codec.decode_set(piece, self.ranges[r], dense=True)
+                mask[vertices] = True
+                wire_recv += float(np.asarray(piece).size)
+            self._charge_decode(float(nglobal) / 64.0, wire_recv)
+            if self.sieve is not None:
+                self.sieve.mark_mask(mask)
         return mask, info
 
     def allgatherv_vertices(
@@ -229,23 +249,28 @@ class CommChannel:
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         mine = self.ranges[self.comm.rank]
-        buf = self.codec.encode_set(vertices, mine, dense=False)
-        self._charge_encode(float(vertices.size), float(vertices.size), float(buf.size))
+        with self.obs.span("encode", codec=self.codec.name):
+            buf = self.codec.encode_set(vertices, mine, dense=False)
+            self._charge_encode(
+                float(vertices.size), float(vertices.size), float(buf.size)
+            )
         info = ExchangeInfo(
             int(vertices.size), float(vertices.size), float(buf.size), 0
         )
         self._record("allgatherv", info, level)
-        pieces = self.comm.allgatherv(buf, concat=False)
-        decoded = [
-            self.codec.decode_set(piece, self.ranges[r], dense=False)
-            for r, piece in enumerate(pieces)
-        ]
-        gathered = (
-            np.concatenate(decoded) if decoded else np.empty(0, dtype=np.int64)
-        )
-        self._charge_decode(
-            float(gathered.size), float(sum(np.asarray(p).size for p in pieces))
-        )
-        if self.sieve is not None:
-            self.sieve.mark(gathered)
+        with self.obs.span("allgatherv", level=level, wire_words=info.wire_words):
+            pieces = self.comm.allgatherv(buf, concat=False)
+        with self.obs.span("decode", codec=self.codec.name):
+            decoded = [
+                self.codec.decode_set(piece, self.ranges[r], dense=False)
+                for r, piece in enumerate(pieces)
+            ]
+            gathered = (
+                np.concatenate(decoded) if decoded else np.empty(0, dtype=np.int64)
+            )
+            self._charge_decode(
+                float(gathered.size), float(sum(np.asarray(p).size for p in pieces))
+            )
+            if self.sieve is not None:
+                self.sieve.mark(gathered)
         return gathered, info

@@ -26,6 +26,7 @@ from repro.core.partition import Partition1D
 from repro.graphs.csr import CSR
 from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
+from repro.obs.tracer import resolve_tracer
 
 
 def partition_ranges(part: Partition1D, nranks: int) -> list[VertexRange]:
@@ -54,6 +55,7 @@ def bfs_1d(
     codec="raw",
     sieve: bool | Sieve = False,
     trace: bool = False,
+    tracer=None,
 ) -> dict:
     """Rank body of the 1D algorithm (flat MPI when ``threads == 1``).
 
@@ -79,6 +81,12 @@ def bfs_1d(
     trace:
         Record a per-level profile (frontier size, candidates, words
         sent/received) under the ``"trace"`` key of the result.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when installed, every
+        level leaves nested phase spans (``td-scan``/``td-dedup``/
+        ``td-pack``/``td-exchange``/``td-update``/``sync``) stamped in
+        virtual time.  Tracing is passive: results and stats are
+        bit-identical with or without it.
 
     Returns
     -------
@@ -89,12 +97,14 @@ def bfs_1d(
     lo, hi = part.range_of(comm.rank)
     nloc = hi - lo
     charger = Charger(comm, machine=machine, threads=threads)
+    obs = resolve_tracer(tracer).for_rank(comm)
     channel = CommChannel(
         comm,
         partition_ranges(part, comm.size),
         codec=codec,
         sieve=make_sieve(sieve, csr.n),
         charger=charger,
+        tracer=obs,
     )
 
     levels = np.full(nloc, -1, dtype=np.int64)
@@ -109,58 +119,70 @@ def bfs_1d(
     level = 1
     level_trace: list[dict] = []
     while True:
-        frontier_in = int(frontier.size)
-        # 1. Enumerate adjacencies of the local frontier (global vertex
-        #    ids; the rank owns the frontier vertices, so the global CSR
-        #    offsets are its own rows).
-        targets, sources = csr.gather(frontier)
-        charger.random(frontier.size, ws_words=2 * max(nloc, 1))
-        charger.stream(2.0 * targets.size, edges_scanned=float(targets.size))
+        with obs.span("level", level=level):
+            frontier_in = int(frontier.size)
+            # 1. Enumerate adjacencies of the local frontier (global vertex
+            #    ids; the rank owns the frontier vertices, so the global CSR
+            #    offsets are its own rows).
+            with obs.span("td-scan"):
+                targets, sources = csr.gather(frontier)
+                charger.random(frontier.size, ws_words=2 * max(nloc, 1))
+                charger.stream(
+                    2.0 * targets.size, edges_scanned=float(targets.size)
+                )
 
-        # 2/3. Aggregate and bucket by owner.
-        candidates = int(targets.size)
-        if dedup_sends:
-            # Dedup within (rank, level): cheapest when done before the
-            # owner bucketing because R-MAT hubs generate many duplicates.
-            targets, sources = dedup_candidates(targets, sources)
-            charger.sort(candidates)
-        owners = part.owner_of(targets)
-        send, xinfo = channel.pack_pairs(targets, sources, owners)
-        charger.intops(2.0 * xinfo.pairs)  # owner computation + packing
-        charger.stream(2.0 * xinfo.pairs)
-        charger.count(candidates=float(candidates), unique_sends=float(xinfo.pairs))
+            # 2/3. Aggregate and bucket by owner.
+            candidates = int(targets.size)
+            if dedup_sends:
+                # Dedup within (rank, level): cheapest when done before the
+                # owner bucketing because R-MAT hubs generate many duplicates.
+                with obs.span("td-dedup"):
+                    targets, sources = dedup_candidates(targets, sources)
+                    charger.sort(candidates)
+            with obs.span("td-pack"):
+                owners = part.owner_of(targets)
+                send, xinfo = channel.pack_pairs(targets, sources, owners)
+                charger.intops(2.0 * xinfo.pairs)  # owner computation + packing
+                charger.stream(2.0 * xinfo.pairs)
+                charger.count(
+                    candidates=float(candidates), unique_sends=float(xinfo.pairs)
+                )
 
-        # 3. The level's single collective (codec-encoded buffers).
-        rv, rp = channel.exchange_pairs(send, xinfo, level=level)
+            # 3. The level's single collective (codec-encoded buffers).
+            with obs.span("td-exchange"):
+                rv, rp = channel.exchange_pairs(send, xinfo, level=level)
 
-        # 4. Owner-side visited checks (Algorithm 2 lines 23-26).  The
-        #    received pairs from different sources may share targets.
-        charger.random(float(rv.size), ws_words=max(nloc, 1))
-        unvisited = levels[rv - lo] < 0
-        rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
-        levels[rv - lo] = level
-        parents[rv - lo] = rp
-        frontier = rv
-        if threads > 1:
-            charger.thread_merge(float(frontier.size))
-        charger.stream(float(frontier.size))
+            # 4. Owner-side visited checks (Algorithm 2 lines 23-26).  The
+            #    received pairs from different sources may share targets.
+            with obs.span("td-update"):
+                charger.random(float(rv.size), ws_words=max(nloc, 1))
+                unvisited = levels[rv - lo] < 0
+                rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+                levels[rv - lo] = level
+                parents[rv - lo] = rp
+                frontier = rv
+                if threads > 1:
+                    charger.thread_merge(float(frontier.size))
+                charger.stream(float(frontier.size))
 
-        charger.level_overhead()
-        if trace:
-            level_trace.append(
-                {
-                    "level": level,
-                    "frontier": frontier_in,
-                    "candidates": candidates,
-                    "words_sent": int(2 * xinfo.pairs),
-                    "wire_words": int(xinfo.wire_words),
-                    "sieve_dropped": xinfo.dropped,
-                    "discovered": int(frontier.size),
-                }
-            )
+            if trace:
+                level_trace.append(
+                    {
+                        "level": level,
+                        "frontier": frontier_in,
+                        "candidates": candidates,
+                        "words_sent": int(2 * xinfo.pairs),
+                        "wire_words": int(xinfo.wire_words),
+                        "sieve_dropped": xinfo.dropped,
+                        "discovered": int(frontier.size),
+                    }
+                )
 
-        # 5. Global termination test.
-        total_new = comm.allreduce(int(frontier.size))
+            # 5. Global termination test.
+            with obs.span("sync"):
+                charger.level_overhead()
+                with obs.span("allreduce"):
+                    total_new = comm.allreduce(int(frontier.size))
         if total_new == 0:
             break
         level += 1

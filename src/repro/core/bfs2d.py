@@ -34,6 +34,7 @@ from repro.graphs.csr import CSR
 from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
 from repro.mpsim.grid import ProcessorGrid
+from repro.obs.tracer import resolve_tracer
 from repro.sparse.dcsc import DCSC
 from repro.sparse.spa import SPA
 from repro.sparse.spmsv import spmsv
@@ -103,6 +104,7 @@ def bfs_2d(
     codec="raw",
     sieve=False,
     trace: bool = False,
+    tracer=None,
 ) -> dict:
     """Rank body of the 2D algorithm (flat MPI when ``threads == 1``).
 
@@ -112,11 +114,15 @@ def bfs_2d(
     ``codec``/``sieve`` configure the wire layer of both the expand
     ``Allgatherv`` (along the column) and the fold ``Alltoallv`` (along
     the row); see :mod:`repro.comm`.  ``trace`` records a per-level
-    profile under the ``"trace"`` key.
+    profile under the ``"trace"`` key.  ``tracer`` is an optional
+    :class:`~repro.obs.tracer.Tracer` recording each level's
+    ``transpose``/``expand``/``spmsv``/``fold-pack``/``fold-exchange``/
+    ``update``/``sync`` spans in virtual time.
     """
     grid = ProcessorGrid(comm, decomp.pr, decomp.pc)
     # Row-split DCSC pieces are embarrassingly thread-parallel (Figure 2).
     charger = Charger(comm, machine=machine, threads=threads, thread_efficiency=0.75)
+    obs = resolve_tracer(tracer).for_rank(comm)
     local = blocks[comm.rank]
     if modeled_cores is None:
         modeled_cores = comm.size * threads
@@ -137,11 +143,13 @@ def bfs_2d(
         for vlo, vhi in (decomp.vec_piece(grid.row, j) for j in range(decomp.pc))
     ]
     row_channel = CommChannel(
-        grid.row_comm, row_ranges, codec=codec, sieve=shared_sieve, charger=charger
+        grid.row_comm, row_ranges, codec=codec, sieve=shared_sieve,
+        charger=charger, tracer=obs,
     )
     col_ranges = [VertexRange(col_lo, col_hi - col_lo)] * grid.col_comm.size
     col_channel = CommChannel(
-        grid.col_comm, col_ranges, codec=codec, sieve=shared_sieve, charger=charger
+        grid.col_comm, col_ranges, codec=codec, sieve=shared_sieve,
+        charger=charger, tracer=obs,
     )
 
     levels = np.full(nloc, -1, dtype=np.int64)
@@ -160,100 +168,122 @@ def bfs_2d(
     total = comm.allreduce(int(frontier.size))
     while total > 0:
         frontier_in = int(frontier.size)
-        # 1. TransposeVector: line the frontier up with processor columns.
-        #    On a square grid this is the paper's pairwise P(i,j)<->P(j,i)
-        #    swap; on a rectangular grid it is the general all-to-all
-        #    (Section 3.2): each element is routed along my processor row
-        #    to the grid column owning its column block, and step 2's
-        #    gather unions the rows' contributions.
-        if decomp.is_square:
-            transposed = grid.transpose_vector(frontier)
-        else:
-            dest_cols = decomp.col_block_of(frontier)
-            order = np.argsort(dest_cols, kind="stable")
-            routed = frontier[order]
-            counts = np.bincount(dest_cols, minlength=decomp.pc)
-            offs = np.concatenate([[0], np.cumsum(counts)])
-            transposed, _cnt = grid.row_comm.alltoallv_concat(
-                [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
-            )
+        with obs.span("level", level=level):
+            # 1. TransposeVector: line the frontier up with processor
+            #    columns.  On a square grid this is the paper's pairwise
+            #    P(i,j)<->P(j,i) swap; on a rectangular grid it is the
+            #    general all-to-all (Section 3.2): each element is routed
+            #    along my processor row to the grid column owning its
+            #    column block, and step 2's gather unions the rows'
+            #    contributions.
+            with obs.span("transpose", level=level):
+                if decomp.is_square:
+                    transposed = grid.transpose_vector(frontier)
+                else:
+                    dest_cols = decomp.col_block_of(frontier)
+                    order = np.argsort(dest_cols, kind="stable")
+                    routed = frontier[order]
+                    counts = np.bincount(dest_cols, minlength=decomp.pc)
+                    offs = np.concatenate([[0], np.cumsum(counts)])
+                    transposed, _cnt = grid.row_comm.alltoallv_concat(
+                        [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
+                    )
 
-        # 2. Expand: column j assembles the full frontier of column block
-        #    j — the column support of every matrix block in this grid
-        #    column.  (On square grids the pieces happen to concatenate in
-        #    ascending vertex order; nothing downstream relies on it.)
-        f_col, expand_info = col_channel.allgatherv_vertices(transposed, level=level)
-        charger.stream(float(f_col.size))
-
-        # 3. Local SpMSV per thread piece; payload = the frontier vertex
-        #    id itself, which becomes the parent of the discovered row.
-        cand_rows = []
-        cand_parents = []
-        for t, piece in enumerate(local.pieces):
-            idx, val, work = spmsv(
-                piece,
-                f_col - col_lo,
-                f_col,
-                kernel=kernel,
-                modeled_cores=modeled_cores,
-                spa=spas[t] if spas is not None else None,
-            )
-            charger.random(
-                float(work.lookups), ws_words=2.0 * max(piece.nzc, 1)
-            )
-            if work.kernel == "spa":
-                # Flag probe + value scatter + index append per
-                # candidate, plus the per-level dense-accumulator touch.
-                charger.random(
-                    2.5 * work.candidates,
-                    ws_words=float(max(piece.nrows, 1)),
-                    candidates=float(work.candidates),
+            # 2. Expand: column j assembles the full frontier of column
+            #    block j — the column support of every matrix block in
+            #    this grid column.  (On square grids the pieces happen to
+            #    concatenate in ascending vertex order; nothing downstream
+            #    relies on it.)
+            with obs.span("expand"):
+                f_col, expand_info = col_channel.allgatherv_vertices(
+                    transposed, level=level
                 )
-                charger.stream(1.2 * piece.nrows)
-            else:
-                charger.intops(
-                    20.0 * work.heap_comparisons, candidates=float(work.candidates)
+                charger.stream(float(f_col.size))
+
+            # 3. Local SpMSV per thread piece; payload = the frontier
+            #    vertex id itself, which becomes the parent of the
+            #    discovered row.
+            with obs.span("spmsv"):
+                cand_rows = []
+                cand_parents = []
+                for t, piece in enumerate(local.pieces):
+                    idx, val, work = spmsv(
+                        piece,
+                        f_col - col_lo,
+                        f_col,
+                        kernel=kernel,
+                        modeled_cores=modeled_cores,
+                        spa=spas[t] if spas is not None else None,
+                        tracer=obs,
+                    )
+                    charger.random(
+                        float(work.lookups), ws_words=2.0 * max(piece.nzc, 1)
+                    )
+                    if work.kernel == "spa":
+                        # Flag probe + value scatter + index append per
+                        # candidate, plus the per-level dense-accumulator
+                        # touch.
+                        charger.random(
+                            2.5 * work.candidates,
+                            ws_words=float(max(piece.nrows, 1)),
+                            candidates=float(work.candidates),
+                        )
+                        charger.stream(1.2 * piece.nrows)
+                    else:
+                        charger.intops(
+                            20.0 * work.heap_comparisons,
+                            candidates=float(work.candidates),
+                        )
+                        charger.stream(float(work.candidates))
+                    cand_rows.append(idx + row_lo + local.band_offsets[t])
+                    cand_parents.append(val)
+                trows = (
+                    np.concatenate(cand_rows) if cand_rows else np.empty(0, np.int64)
                 )
-                charger.stream(float(work.candidates))
-            cand_rows.append(idx + row_lo + local.band_offsets[t])
-            cand_parents.append(val)
-        trows = np.concatenate(cand_rows) if cand_rows else np.empty(0, np.int64)
-        tvals = (
-            np.concatenate(cand_parents) if cand_parents else np.empty(0, np.int64)
-        )
-        charger.count(edges_scanned=float(f_col.size))
+                tvals = (
+                    np.concatenate(cand_parents)
+                    if cand_parents
+                    else np.empty(0, np.int64)
+                )
+                charger.count(edges_scanned=float(f_col.size))
 
-        # 4. Fold: scatter candidates to vector-piece owners along the row.
-        owners = decomp.vec_owner_col(grid.row, trows)
-        send, xinfo = row_channel.pack_pairs(trows, tvals, owners)
-        charger.intops(float(xinfo.pairs))
-        charger.count(unique_sends=float(xinfo.pairs))
-        rv, rp = row_channel.exchange_pairs(send, xinfo, level=level)
+            # 4. Fold: scatter candidates to vector-piece owners along the
+            #    row.
+            with obs.span("fold-pack"):
+                owners = decomp.vec_owner_col(grid.row, trows)
+                send, xinfo = row_channel.pack_pairs(trows, tvals, owners)
+                charger.intops(float(xinfo.pairs))
+                charger.count(unique_sends=float(xinfo.pairs))
+            with obs.span("fold-exchange"):
+                rv, rp = row_channel.exchange_pairs(send, xinfo, level=level)
 
-        # 5. Mask with pi-bar and update (Algorithm 3 lines 9-11).
-        charger.random(float(rv.size), ws_words=float(max(nloc, 1)))
-        unvisited = parents[rv - plo] == -1
-        rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
-        parents[rv - plo] = rp
-        levels[rv - plo] = level
-        frontier = rv
-        if threads > 1:
-            charger.thread_merge(float(frontier.size))
+            # 5. Mask with pi-bar and update (Algorithm 3 lines 9-11).
+            with obs.span("update"):
+                charger.random(float(rv.size), ws_words=float(max(nloc, 1)))
+                unvisited = parents[rv - plo] == -1
+                rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+                parents[rv - plo] = rp
+                levels[rv - plo] = level
+                frontier = rv
+                if threads > 1:
+                    charger.thread_merge(float(frontier.size))
 
-        charger.level_overhead()
-        if trace:
-            level_trace.append(
-                {
-                    "level": level,
-                    "frontier": frontier_in,
-                    "candidates": int(trows.size),
-                    "words_sent": int(2 * xinfo.pairs + f_col.size),
-                    "wire_words": int(xinfo.wire_words + expand_info.wire_words),
-                    "sieve_dropped": xinfo.dropped,
-                    "discovered": int(frontier.size),
-                }
-            )
-        total = comm.allreduce(int(frontier.size))
+            if trace:
+                level_trace.append(
+                    {
+                        "level": level,
+                        "frontier": frontier_in,
+                        "candidates": int(trows.size),
+                        "words_sent": int(2 * xinfo.pairs + f_col.size),
+                        "wire_words": int(xinfo.wire_words + expand_info.wire_words),
+                        "sieve_dropped": xinfo.dropped,
+                        "discovered": int(frontier.size),
+                    }
+                )
+            with obs.span("sync"):
+                charger.level_overhead()
+                with obs.span("allreduce"):
+                    total = comm.allreduce(int(frontier.size))
         level += 1
 
     result = {

@@ -45,39 +45,45 @@ from repro.core.partition import Partition1D
 from repro.graphs.csr import CSR
 from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, Charger
 from repro.mpsim.communicator import Communicator
+from repro.obs.tracer import resolve_tracer
 
 TOP_DOWN = "top-down"
 BOTTOM_UP = "bottom-up"
 
 
 def _topdown_level(
-    comm, csr, part, channel, charger, levels, parents, frontier, lo, nloc,
-    level, dedup_sends, threads,
+    comm, csr, part, channel, charger, obs, levels, parents, frontier, lo,
+    nloc, level, dedup_sends, threads,
 ):
     """One top-down level: Algorithm 2's enumerate/dedup/exchange/update."""
-    targets, sources = csr.gather(frontier)
-    charger.random(frontier.size, ws_words=2 * max(nloc, 1))
-    charger.stream(2.0 * targets.size, edges_scanned=float(targets.size))
+    with obs.span("td-scan"):
+        targets, sources = csr.gather(frontier)
+        charger.random(frontier.size, ws_words=2 * max(nloc, 1))
+        charger.stream(2.0 * targets.size, edges_scanned=float(targets.size))
 
     candidates = int(targets.size)
     if dedup_sends:
-        targets, sources = dedup_candidates(targets, sources)
-        charger.sort(candidates)
-    owners = part.owner_of(targets)
-    send, xinfo = channel.pack_pairs(targets, sources, owners)
-    charger.intops(2.0 * xinfo.pairs)
-    charger.stream(2.0 * xinfo.pairs)
-    charger.count(candidates=float(candidates), unique_sends=float(xinfo.pairs))
+        with obs.span("td-dedup"):
+            targets, sources = dedup_candidates(targets, sources)
+            charger.sort(candidates)
+    with obs.span("td-pack"):
+        owners = part.owner_of(targets)
+        send, xinfo = channel.pack_pairs(targets, sources, owners)
+        charger.intops(2.0 * xinfo.pairs)
+        charger.stream(2.0 * xinfo.pairs)
+        charger.count(candidates=float(candidates), unique_sends=float(xinfo.pairs))
 
-    rv, rp = channel.exchange_pairs(send, xinfo, level=level)
-    charger.random(float(rv.size), ws_words=max(nloc, 1))
-    unvisited = levels[rv - lo] < 0
-    rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
-    levels[rv - lo] = level
-    parents[rv - lo] = rp
-    if threads > 1:
-        charger.thread_merge(float(rv.size))
-    charger.stream(float(rv.size))
+    with obs.span("td-exchange"):
+        rv, rp = channel.exchange_pairs(send, xinfo, level=level)
+    with obs.span("td-update"):
+        charger.random(float(rv.size), ws_words=max(nloc, 1))
+        unvisited = levels[rv - lo] < 0
+        rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+        levels[rv - lo] = level
+        parents[rv - lo] = rp
+        if threads > 1:
+            charger.thread_merge(float(rv.size))
+        charger.stream(float(rv.size))
     return rv, {
         "candidates": candidates,
         "words_sent": int(2 * xinfo.pairs),
@@ -87,53 +93,56 @@ def _topdown_level(
 
 
 def _bottomup_level(
-    comm, csr, part, channel, charger, levels, parents, frontier, lo, nloc,
-    level, threads,
+    comm, csr, part, channel, charger, obs, levels, parents, frontier, lo,
+    nloc, level, threads,
 ):
     """One bottom-up level: bitmap expand + early-exit reverse edge scans."""
     # Expand: every owner contributes its local frontier bitmap; the
     # Allgatherv assembles the global one (~n/64 words received per rank
     # under the raw codec, priced post-codec by the collective cost model).
-    payload = float(bitmap_words(nloc))
-    charger.stream(payload + float(frontier.size))
-    bitmap, xinfo = channel.expand_bitmap(frontier, level=level)
-    charger.stream(float(bitmap.size) / 64.0)
+    with obs.span("bu-expand"):
+        payload = float(bitmap_words(nloc))
+        charger.stream(payload + float(frontier.size))
+        bitmap, xinfo = channel.expand_bitmap(frontier, level=level)
+        charger.stream(float(bitmap.size) / 64.0)
 
     # Fold: enumerate unvisited owned vertices and reverse-scan their
     # sorted adjacencies against the bitmap.  The last frontier hit of a
     # sorted list is the maximum frontier neighbour, so the early exit
     # reproduces the (select, max) parent of the top-down dedup.
-    unvisited = np.flatnonzero(levels < 0) + lo
-    charger.stream(float(nloc))
-    deg = csr.indptr[unvisited + 1] - csr.indptr[unvisited]
-    active = unvisited[deg > 0]
-    counts = deg[deg > 0]
-    charger.random(float(active.size), ws_words=2 * max(nloc, 1))
-    targets, _sources = csr.gather(active)
-    if active.size:
-        ends = np.cumsum(counts)
-        starts = ends - counts
-        hit_pos = np.where(bitmap[targets], np.arange(targets.size), -1)
-        last_hit = np.maximum.reduceat(hit_pos, starts)
-        has_parent = last_hit >= 0
-        new = active[has_parent]
-        new_parents = targets[last_hit[has_parent]]
-        # Reverse scan visits positions [last_hit, end) before exiting —
-        # the whole list when no frontier neighbour exists.
-        scanned = float(np.where(has_parent, ends - last_hit, counts).sum())
-    else:
-        new = np.empty(0, dtype=np.int64)
-        new_parents = np.empty(0, dtype=np.int64)
-        scanned = 0.0
-    charger.random(scanned, ws_words=max(1.0, float(bitmap.size) / 64.0))
-    charger.stream(2.0 * scanned, edges_scanned=scanned)
-    charger.count(candidates=scanned)
+    with obs.span("bu-scan"):
+        unvisited = np.flatnonzero(levels < 0) + lo
+        charger.stream(float(nloc))
+        deg = csr.indptr[unvisited + 1] - csr.indptr[unvisited]
+        active = unvisited[deg > 0]
+        counts = deg[deg > 0]
+        charger.random(float(active.size), ws_words=2 * max(nloc, 1))
+        targets, _sources = csr.gather(active)
+        if active.size:
+            ends = np.cumsum(counts)
+            starts = ends - counts
+            hit_pos = np.where(bitmap[targets], np.arange(targets.size), -1)
+            last_hit = np.maximum.reduceat(hit_pos, starts)
+            has_parent = last_hit >= 0
+            new = active[has_parent]
+            new_parents = targets[last_hit[has_parent]]
+            # Reverse scan visits positions [last_hit, end) before exiting —
+            # the whole list when no frontier neighbour exists.
+            scanned = float(np.where(has_parent, ends - last_hit, counts).sum())
+        else:
+            new = np.empty(0, dtype=np.int64)
+            new_parents = np.empty(0, dtype=np.int64)
+            scanned = 0.0
+        charger.random(scanned, ws_words=max(1.0, float(bitmap.size) / 64.0))
+        charger.stream(2.0 * scanned, edges_scanned=scanned)
+        charger.count(candidates=scanned)
 
-    levels[new - lo] = level
-    parents[new - lo] = new_parents
-    if threads > 1:
-        charger.thread_merge(float(new.size))
-    charger.stream(float(new.size))
+    with obs.span("bu-update"):
+        levels[new - lo] = level
+        parents[new - lo] = new_parents
+        if threads > 1:
+            charger.thread_merge(float(new.size))
+        charger.stream(float(new.size))
     return new, {
         "candidates": int(scanned),
         "words_sent": int(payload),
@@ -155,6 +164,7 @@ def bfs_1d_dirop(
     beta: float | None = None,
     symmetric: bool = True,
     trace: bool = False,
+    tracer=None,
 ) -> dict:
     """Rank body of the direction-optimizing 1D algorithm.
 
@@ -180,6 +190,11 @@ def bfs_1d_dirop(
         pin the traversal to top-down (bottom-up needs in-edges).
     trace:
         Record a per-level profile including which ``direction`` ran.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` recording nested phase
+        spans in virtual time: ``td-*`` phases on top-down levels,
+        ``bu-expand``/``bu-scan``/``bu-update`` on bottom-up ones, and the
+        level-closing ``sync`` around the frontier-stats ``Allreduce``.
 
     Returns
     -------
@@ -192,12 +207,14 @@ def bfs_1d_dirop(
     lo, hi = part.range_of(comm.rank)
     nloc = hi - lo
     charger = Charger(comm, machine=machine, threads=threads)
+    obs = resolve_tracer(tracer).for_rank(comm)
     channel = CommChannel(
         comm,
         partition_ranges(part, comm.size),
         codec=codec,
         sieve=make_sieve(sieve, csr.n),
         charger=charger,
+        tracer=obs,
     )
     degrees = csr.indptr[lo + 1 : hi + 1] - csr.indptr[lo:hi]
 
@@ -239,36 +256,41 @@ def bfs_1d_dirop(
                 direction = TOP_DOWN
 
         frontier_in = int(frontier.size)
-        if direction == TOP_DOWN:
-            frontier, info = _topdown_level(
-                comm, csr, part, channel, charger, levels, parents, frontier,
-                lo, nloc, level, dedup_sends, threads,
-            )
-        else:
-            frontier, info = _bottomup_level(
-                comm, csr, part, channel, charger, levels, parents, frontier,
-                lo, nloc, level, threads,
-            )
-        unexplored_edges -= int(degrees[frontier - lo].sum()) if frontier.size else 0
-
-        charger.level_overhead()
-        if trace:
-            level_trace.append(
-                {
-                    "level": level,
-                    "frontier": frontier_in,
-                    "candidates": info["candidates"],
-                    "words_sent": info["words_sent"],
-                    "wire_words": info["wire_words"],
-                    "sieve_dropped": info["sieve_dropped"],
-                    "discovered": int(frontier.size),
-                    "direction": direction,
-                }
+        with obs.span("level", level=level, direction=direction):
+            if direction == TOP_DOWN:
+                frontier, info = _topdown_level(
+                    comm, csr, part, channel, charger, obs, levels, parents,
+                    frontier, lo, nloc, level, dedup_sends, threads,
+                )
+            else:
+                frontier, info = _bottomup_level(
+                    comm, csr, part, channel, charger, obs, levels, parents,
+                    frontier, lo, nloc, level, threads,
+                )
+            unexplored_edges -= (
+                int(degrees[frontier - lo].sum()) if frontier.size else 0
             )
 
-        g_front, g_fedges, g_unexplored = (
-            int(x) for x in comm.allreduce(frontier_stats(frontier))
-        )
+            if trace:
+                level_trace.append(
+                    {
+                        "level": level,
+                        "frontier": frontier_in,
+                        "candidates": info["candidates"],
+                        "words_sent": info["words_sent"],
+                        "wire_words": info["wire_words"],
+                        "sieve_dropped": info["sieve_dropped"],
+                        "discovered": int(frontier.size),
+                        "direction": direction,
+                    }
+                )
+
+            with obs.span("sync"):
+                charger.level_overhead()
+                with obs.span("allreduce"):
+                    g_front, g_fedges, g_unexplored = (
+                        int(x) for x in comm.allreduce(frontier_stats(frontier))
+                    )
         if g_front == 0:
             break
         level += 1

@@ -116,6 +116,7 @@ def run_bfs(
     dirop_beta: float | None = None,
     validate: bool = False,
     trace: bool = False,
+    tracer=None,
 ) -> BFSResult:
     """Run one BFS traversal of ``graph`` from ``source``.
 
@@ -179,6 +180,13 @@ def run_bfs(
         count, words sent, vertices discovered, summed over ranks) in
         ``result.meta["level_profile"]``.  Supported by the 1d/2d
         families; serial runs and baselines leave the profile ``None``.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` recording nested per-rank,
+        per-level phase spans in virtual time (1d/2d families only).
+        Tracing is passive — stats stay bit-identical — and the tracer is
+        stored in ``result.meta["tracer"]`` so
+        :func:`repro.obs.run_report` and
+        :func:`repro.obs.write_chrome_trace` can find it.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
@@ -192,6 +200,11 @@ def run_bfs(
         raise ValueError(
             f"{algorithm} does not route its exchanges through repro.comm; "
             "codec/sieve apply to the 1d/2d families only"
+        )
+    if tracer is not None and family in ("serial", "pbgl", "graph500-ref"):
+        raise ValueError(
+            f"{algorithm} is not instrumented for span tracing; "
+            "tracer applies to the 1d/2d families only"
         )
     src_internal = int(np.asarray(graph.to_internal(source)))
 
@@ -220,6 +233,7 @@ def run_bfs(
                     codec=codec,
                     sieve=sieve,
                     trace=trace,
+                    tracer=tracer,
                     cost_model=cost_model,
                 )
             elif family == "1d-dirop":
@@ -237,6 +251,7 @@ def run_bfs(
                     beta=dirop_beta,
                     symmetric=not graph.directed,
                     trace=trace,
+                    tracer=tracer,
                     cost_model=cost_model,
                 )
             elif family == "pbgl":
@@ -297,6 +312,7 @@ def run_bfs(
                 codec=codec,
                 sieve=sieve,
                 trace=trace,
+                tracer=tracer,
                 cost_model=cost_model,
             )
             levels_int = np.empty(graph.n, dtype=np.int64)
@@ -335,6 +351,7 @@ def run_bfs(
         stats=stats,
         meta={
             "graph": graph.name,
+            "machine": machine.name if machine is not None else None,
             "kernel": kernel,
             "dedup_sends": dedup_sends,
             "codec": getattr(codec, "name", codec),
@@ -343,6 +360,7 @@ def run_bfs(
             "dirop_alpha": DIROP_ALPHA if dirop_alpha is None else dirop_alpha,
             "dirop_beta": DIROP_BETA if dirop_beta is None else dirop_beta,
             "level_profile": level_profile,
+            "tracer": tracer,
         },
     )
 

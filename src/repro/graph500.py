@@ -125,6 +125,7 @@ def run_graph500(
     nbfs: int = 8,
     seed: int | None = 0,
     validate: bool = True,
+    tracer=None,
     **bfs_kwargs,
 ) -> Graph500Result:
     """Run the full Graph 500 flow at the given (down)scale.
@@ -133,7 +134,10 @@ def run_graph500(
     the R-MAT instance, ``nbfs`` the number of search keys (official: 64).
     ``algorithm``/``nprocs``/``machine`` select the paper implementation
     and the modeled system.  Every traversal is validated against the
-    specification rules unless ``validate=False``.
+    specification rules unless ``validate=False``.  ``tracer`` is an
+    optional :class:`~repro.obs.Tracer` recording phase spans for the
+    *first* search only — virtual time restarts at zero each traversal,
+    so one tracer describes one run.
     """
     if nbfs < 1:
         raise ValueError(f"nbfs must be >= 1, got {nbfs}")
@@ -159,7 +163,7 @@ def run_graph500(
     keys = sample_search_keys(graph, nbfs, seed=seed)
     searches: list[BFSResult] = []
     times, rates = [], []
-    for key in keys:
+    for i, key in enumerate(keys):
         result = run_bfs(
             graph,
             int(key),
@@ -167,6 +171,7 @@ def run_graph500(
             nprocs=nprocs,
             machine=machine,
             validate=validate,
+            tracer=tracer if i == 0 else None,
             **bfs_kwargs,
         )
         searches.append(result)

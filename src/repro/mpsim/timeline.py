@@ -36,6 +36,7 @@ GLYPHS = {
     "gather": "v",
     "scatter": "s",
     "p2p": "p",
+    "other": "o",  # fallback for kinds without a dedicated glyph
 }
 
 
@@ -76,7 +77,7 @@ def render_timeline(
         row = ["."] * width
         for event in getattr(stats.comm[rank], "events", []):
             any_events = True
-            glyph = GLYPHS.get(event.kind, "o")
+            glyph = GLYPHS.get(event.kind, GLYPHS["other"])
             lo = int(event.t_arrive / makespan * (width - 1))
             hi = max(lo, int(event.t_complete / makespan * (width - 1)))
             for col in range(lo, hi + 1):

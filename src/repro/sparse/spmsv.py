@@ -147,12 +147,17 @@ def spmsv(
     modeled_cores: int = 1,
     memory_budget_words: int | None = None,
     spa: SPA | None = None,
+    tracer=None,
 ) -> tuple[np.ndarray, np.ndarray, SpMSVWork]:
     """Dispatching SpMSV: ``kernel`` in {"auto", "spa", "heap"}.
 
     ``memory_budget_words`` caps the dense accumulator: ``"auto"`` falls
     back to the heap kernel when this block's SPA working set
-    (``block.nrows`` words) would exceed it.
+    (``block.nrows`` words) would exceed it.  ``tracer`` is an optional
+    :class:`~repro.obs.tracer.RankTracer`; when given, the kernel that
+    actually ran (polyalgorithm choice included) is recorded as a
+    zero-duration ``spmsv-kernel`` marker with its work counts, so a
+    Chrome trace shows the SPA-vs-heap decision per level.
     """
     if kernel == "auto":
         kernel = choose_spmsv_kernel(
@@ -161,7 +166,17 @@ def spmsv(
             memory_budget_words=memory_budget_words,
         )
     if kernel == "spa":
-        return spmsv_spa(block, frontier_idx, frontier_val, semiring, spa=spa)
-    if kernel == "heap":
-        return spmsv_heap(block, frontier_idx, frontier_val, semiring)
-    raise ValueError(f"unknown SpMSV kernel {kernel!r}")
+        out = spmsv_spa(block, frontier_idx, frontier_val, semiring, spa=spa)
+    elif kernel == "heap":
+        out = spmsv_heap(block, frontier_idx, frontier_val, semiring)
+    else:
+        raise ValueError(f"unknown SpMSV kernel {kernel!r}")
+    if tracer is not None:
+        work = out[2]
+        tracer.instant(
+            "spmsv-kernel",
+            kernel=work.kernel,
+            candidates=work.candidates,
+            lookups=work.lookups,
+        )
+    return out

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.report import Table
+from repro.bench.report import Table, _format_cell
 
 
 class TestTable:
@@ -55,3 +55,29 @@ class TestTable:
         t.add_row(0.0)
         assert "1.23e+05" in t.render()
         assert "\n  0" in t.render() or " 0" in t.render()
+
+
+class TestFormatCell:
+    def test_negative_values_keep_sign(self):
+        assert _format_cell(-2.5) == "-2.5"
+        assert _format_cell(-123456.789) == "-1.23e+05"
+        assert _format_cell(-0.0001) == "-0.0001"
+
+    def test_negative_zero_drops_sign(self):
+        assert _format_cell(-0.0) == "0"
+
+    def test_nan_and_infinities_are_explicit(self):
+        assert _format_cell(float("nan")) == "nan"
+        assert _format_cell(float("inf")) == "inf"
+        assert _format_cell(float("-inf")) == "-inf"
+
+    def test_non_floats_pass_through(self):
+        assert _format_cell(7) == "7"
+        assert _format_cell("-") == "-"
+
+    def test_render_survives_nan_rows(self):
+        t = Table(title="N", headers=["x"])
+        t.add_row(float("nan"))
+        t.add_row(-1.0)
+        out = t.render()
+        assert "nan" in out and "-1" in out

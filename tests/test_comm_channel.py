@@ -149,6 +149,61 @@ class TestGatherAccounting:
         assert all(run_spmd(3, fn).returns)
 
 
+class TestSummaryMixedCollectives:
+    def test_per_level_breakdowns_exclude_control_collectives(self):
+        """A realistic level interleaves channel-routed exchanges with
+        control collectives (allreduce termination test, barrier): the
+        per-level payload/wire breakdowns must cover exactly the channel
+        kinds while ``words_by_kind`` still counts everything."""
+
+        def fn(comm):
+            per = 16
+            ranges = [VertexRange(per * r, per) for r in range(comm.size)]
+            channel = CommChannel(comm, ranges, codec="raw")
+            for level in (1, 2):
+                dst = (comm.rank + 1) % comm.size
+                targets = np.arange(per * dst, per * dst + 4, dtype=np.int64)
+                send, info = channel.pack_pairs(
+                    targets, targets, np.full(4, dst, dtype=np.int64)
+                )
+                channel.exchange_pairs(send, info, level=level)
+                if level == 2:
+                    mine = np.array([per * comm.rank], dtype=np.int64)
+                    channel.allgatherv_vertices(mine, level=level)
+                comm.allreduce(np.int64(1))  # control: no level attribution
+            comm.barrier()
+            return True
+
+        res = run_spmd(3, fn)
+        assert all(res.returns)
+        summary = res.stats.summary()
+
+        by_level = summary["words_by_level"]
+        assert set(by_level) == {1, 2}
+        assert set(by_level[1]) == {"alltoallv"}
+        assert set(by_level[2]) == {"alltoallv", "allgatherv"}
+        # 3 ranks x 4 pairs x 2 words, all off-rank, raw codec.
+        assert by_level[1]["alltoallv"] == 3 * 8.0
+        assert by_level[2]["allgatherv"] == 3 * 1.0
+
+        # Control collectives appear in the per-kind totals but never in
+        # the channel's payload/wire accounting.
+        assert "allreduce" in summary["words_by_kind"]
+        assert "allreduce" not in summary["payload_by_kind"]
+        payload_by_level = res.stats.payload_by_level()
+        assert set(payload_by_level) == {1, 2}
+        assert payload_by_level[1]["alltoallv"] == 3 * 8.0
+
+        # Channel totals reconcile with the per-level breakdowns.
+        wire_total = sum(
+            words for kinds in by_level.values() for words in kinds.values()
+        )
+        assert summary["total_wire_words"] == wire_total
+        assert summary["total_payload_words"] == wire_total  # raw codec
+        # The wire's grand total also includes the control collectives.
+        assert summary["total_words_sent"] > wire_total
+
+
 class TestValidationAndReporting:
     def test_channel_requires_one_range_per_rank(self):
         def fn(comm):

@@ -88,3 +88,16 @@ class TestRenderer:
         assert len(set(GLYPHS.values())) == len(GLYPHS)
         event = TimelineEvent("alltoallv", 0.0, 1.0, 10.0)
         assert event.duration == 1.0
+
+    def test_unknown_kind_renders_fallback_glyph(self):
+        # The docstring's o=other fallback must exist in the table so the
+        # legend explains glyphs that unknown collective kinds produce.
+        assert GLYPHS["other"] == "o"
+        res = _timed_run(record_timeline=True)
+        makespan = res.stats.makespan
+        res.stats.comm[0].events.append(
+            TimelineEvent("mystery-collective", 0.0, makespan / 2, 1.0)
+        )
+        chart = render_timeline(res.stats, width=40)
+        assert "o" in chart.splitlines()[0]
+        assert "o=other" in chart

@@ -1,0 +1,126 @@
+"""Chrome-trace and run-report exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import run_bfs
+from repro.obs import (
+    REPORT_SCHEMA,
+    Tracer,
+    chrome_trace,
+    load_run_report,
+    run_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_run_report,
+)
+
+
+def _traced_run(graph, algorithm, **kwargs):
+    tracer = Tracer()
+    result = run_bfs(
+        graph, 5, algorithm, nprocs=4, machine="hopper", tracer=tracer, **kwargs
+    )
+    return result, tracer
+
+
+class TestChromeTrace:
+    @pytest.mark.parametrize("algorithm", ["1d-dirop", "2d"])
+    def test_schema_valid_for_bfs_runs(self, rmat_small, algorithm):
+        result, tracer = _traced_run(rmat_small, algorithm)
+        trace = chrome_trace(tracer)
+        validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        # One thread_name metadata record per rank, tids = ranks.
+        names = [e for e in events if e["ph"] == "M"]
+        assert [e["tid"] for e in names] == list(range(result.nranks))
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in complete} == set(range(result.nranks))
+        assert all(e["pid"] == 0 for e in events)
+        # ts/dur are microseconds of the virtual clocks: the latest span
+        # end equals the modeled makespan.
+        latest = max(e["ts"] + e["dur"] for e in complete)
+        assert latest == pytest.approx(result.time_total * 1e6)
+        assert {e["name"] for e in complete} >= {"level", "sync", "allreduce"}
+
+    def test_2d_trace_has_spmsv_kernel_instants(self, rmat_small):
+        _result, tracer = _traced_run(rmat_small, "2d")
+        trace = chrome_trace(tracer)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instants, "spmsv-kernel markers missing"
+        assert all(e["name"] == "spmsv-kernel" for e in instants)
+        assert all(e["args"]["kernel"] in ("spa", "heap") for e in instants)
+
+    def test_level_and_meta_in_args(self, rmat_small):
+        _result, tracer = _traced_run(rmat_small, "1d", codec="delta-varint")
+        trace = chrome_trace(tracer)
+        exchanges = [
+            e for e in trace["traceEvents"] if e.get("name") == "alltoallv"
+        ]
+        assert exchanges
+        assert all("level" in e["args"] for e in exchanges)
+        encodes = [e for e in trace["traceEvents"] if e.get("name") == "encode"]
+        assert all(e["args"]["codec"] == "delta-varint" for e in encodes)
+
+    def test_write_is_loadable_json(self, rmat_small, tmp_path):
+        _result, tracer = _traced_run(rmat_small, "1d-dirop")
+        path = write_chrome_trace(tmp_path / "sub" / "trace.json", tracer)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError, match="no traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="missing 'tid'"):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "pid": 0}]})
+        with pytest.raises(ValueError, match="missing 'dur'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 0}]}
+            )
+        bad = {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 0.0, "dur": -1.0}
+        with pytest.raises(ValueError, match="negative duration"):
+            validate_chrome_trace({"traceEvents": [bad]})
+
+
+class TestRunReport:
+    def test_report_contents(self, rmat_small):
+        result, _tracer = _traced_run(
+            rmat_small, "1d-dirop", codec="delta-varint", sieve=True
+        )
+        report = run_report(result)  # tracer found in result.meta
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["machine"] == "Hopper (Cray XE6)"
+        assert report["algorithm"] == "1d-dirop"
+        assert report["config"]["codec"] == "delta-varint"
+        assert report["config"]["sieve"] is True
+        assert report["time"]["total"] > 0
+        assert report["gteps"] == pytest.approx(result.gteps())
+        assert report["comm"]["total_wire_words"] > 0
+        # Span-derived sections populated, and exactly one entry per level.
+        assert len(report["levels"]) == result.nlevels
+        assert sum(report["phases"].values()) == pytest.approx(
+            result.time_total, rel=1e-9
+        )
+        assert report["comm_comp"]["totals"]["comm_max"] > 0
+        assert report["imbalance"]
+
+    def test_report_without_tracer_still_has_stats(self, rmat_small):
+        result = run_bfs(rmat_small, 5, "1d", nprocs=4, machine="hopper")
+        report = run_report(result)
+        assert report["phases"] == {} and report["levels"] == []
+        assert report["comm"]["total_words_sent"] > 0
+        assert report["gteps"] > 0
+
+    def test_write_load_round_trip(self, rmat_small, tmp_path):
+        result, _tracer = _traced_run(rmat_small, "2d")
+        report = run_report(result)
+        path = write_run_report(tmp_path / "report.json", report)
+        assert load_run_report(path) == json.loads(json.dumps(report))
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError, match="not a run report"):
+            load_run_report(path)

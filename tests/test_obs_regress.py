@@ -1,0 +1,124 @@
+"""Perf-regression gate: report diffs and the perf-diff CLI."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import run_bfs
+from repro.obs import (
+    DEFAULT_THRESHOLD,
+    GATED_METRICS,
+    Tracer,
+    compare_reports,
+    perf_diff,
+    run_report,
+    write_run_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report(rmat_small):
+    tracer = Tracer()
+    result = run_bfs(
+        rmat_small, 5, "1d-dirop", nprocs=4, machine="hopper", tracer=tracer
+    )
+    return run_report(result)
+
+
+def _slowed(report, factor):
+    slow = copy.deepcopy(report)
+    slow["time"]["total"] *= factor
+    slow["gteps"] /= factor
+    return slow
+
+
+class TestCompareReports:
+    def test_self_comparison_is_exact_pass(self, report):
+        diff = compare_reports(report, report)
+        assert diff.ok and not diff.regressions
+        gated = {d.name: d for d in diff.deltas if d.gated}
+        assert set(gated) == set(GATED_METRICS)
+        assert all(d.rel_change == 0.0 for d in gated.values())
+        assert "PASS" in diff.render()
+
+    def test_injected_slowdown_fails(self, report):
+        diff = compare_reports(report, _slowed(report, 1.10), threshold=0.05)
+        assert not diff.ok
+        assert {d.name for d in diff.regressions} == {"time.total", "gteps"}
+        rendered = diff.render()
+        assert "FAIL" in rendered and "time.total" in rendered
+
+    def test_speedup_passes(self, report):
+        diff = compare_reports(report, _slowed(report, 0.5))
+        assert diff.ok
+
+    def test_gteps_is_lower_is_worse(self, report):
+        worse = copy.deepcopy(report)
+        worse["gteps"] *= 0.8  # 20% throughput drop, times unchanged
+        diff = compare_reports(report, worse, threshold=0.05)
+        assert [d.name for d in diff.regressions] == ["gteps"]
+        assert diff.regressions[0].rel_change == pytest.approx(0.2)
+
+    def test_threshold_bounds_the_gate(self, report):
+        slow = _slowed(report, 1.04)
+        assert compare_reports(report, slow, threshold=0.05).ok
+        assert not compare_reports(report, slow, threshold=0.01).ok
+
+    def test_phase_and_comm_metrics_are_informational(self, report):
+        tweaked = copy.deepcopy(report)
+        for phase in tweaked["phases"]:
+            tweaked["phases"][phase] *= 10
+        tweaked["comm"]["total_wire_words"] *= 10
+        diff = compare_reports(report, tweaked)
+        assert diff.ok  # shown, never gating
+        assert any(d.name.startswith("phase.") for d in diff.deltas)
+
+    def test_negative_threshold_rejected(self, report):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_reports(report, report, threshold=-0.1)
+
+    def test_missing_metrics_never_gate(self, report):
+        bare = {"schema": report["schema"], "time": {}, "gteps": None}
+        diff = compare_reports(report, bare)
+        assert diff.ok
+
+
+class TestPerfDiffCli:
+    def _write(self, tmp_path, name, report):
+        return str(write_run_report(tmp_path / name, report))
+
+    def test_self_comparison_exits_zero(self, report, tmp_path, capsys):
+        path = self._write(tmp_path, "a.json", report)
+        assert main(["perf-diff", path, path]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and f"{DEFAULT_THRESHOLD:.1%}" in out
+
+    def test_regression_exits_nonzero(self, report, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", report)
+        b = self._write(tmp_path, "b.json", _slowed(report, 1.15))
+        assert main(["perf-diff", a, b, "--threshold", "0.05"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_wide_threshold_tolerates_slowdown(self, report, tmp_path):
+        a = self._write(tmp_path, "a.json", report)
+        b = self._write(tmp_path, "b.json", _slowed(report, 1.15))
+        assert main(["perf-diff", a, b, "--threshold", "0.5"]) == 0
+
+    def test_bad_input_exits_two(self, report, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", report)
+        missing = str(tmp_path / "nope.json")
+        assert main(["perf-diff", a, missing]) == 2
+        assert "perf-diff:" in capsys.readouterr().err
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "nope"}))
+        assert main(["perf-diff", a, str(bogus)]) == 2
+
+    def test_file_api_matches_cli(self, report, tmp_path):
+        a = self._write(tmp_path, "a.json", report)
+        b = self._write(tmp_path, "b.json", _slowed(report, 1.15))
+        assert perf_diff(a, a).ok
+        assert not perf_diff(a, b, threshold=0.05).ok

@@ -89,6 +89,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     group.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault schedule, ';'-separated "
+            "kind:key=value,... events, e.g. "
+            "'crash:rank=1,level=3;timeout:level=2;seed=7' "
+            "(kinds: crash, timeout, corrupt, delay)"
+        ),
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "snapshot traversal state every N levels so an injected crash "
+            "recovers from the last complete checkpoint (cost-modeled; "
+            "default: checkpointing off)"
+        ),
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "transient-fault retry budget per collective before the run "
+            "aborts (default: 3)"
+        ),
+    )
+    group.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -194,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
             dirop_alpha=args.dirop_alpha,
             dirop_beta=args.dirop_beta,
             tracer=tracer,
+            faults=args.fault_spec,
+            checkpoint_every=args.checkpoint_every,
+            max_retries=args.max_retries,
         )
         print(result.report())
         if args.trace_out:

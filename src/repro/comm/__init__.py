@@ -15,6 +15,7 @@ from repro.comm.codecs import (
     AutoCodec,
     BitmapCodec,
     Codec,
+    CodecError,
     DeltaVarintCodec,
     RawCodec,
     VertexRange,
@@ -28,6 +29,7 @@ __all__ = [
     "AutoCodec",
     "BitmapCodec",
     "Codec",
+    "CodecError",
     "CommChannel",
     "DeltaVarintCodec",
     "ExchangeInfo",

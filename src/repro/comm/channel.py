@@ -32,9 +32,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.comm.codecs import Codec, VertexRange, get_codec
+from repro.comm.codecs import Codec, CodecError, VertexRange, get_codec
 from repro.comm.sieve import Sieve
 from repro.core.frontier import bitmap_words, bucket_by_owner
+from repro.faults.injection import (
+    NULL_RANK_FAULTS,
+    UndetectedCorruptionError,
+    corrupt_pieces,
+)
 from repro.obs.tracer import NULL_RANK_TRACER
 
 #: Bytes per boolean in the sieve's ``seen`` array; its random-access
@@ -83,6 +88,7 @@ class CommChannel:
         sieve: Sieve | None = None,
         charger=None,
         tracer=None,
+        faults=None,
     ):
         if len(ranges) != comm.size:
             raise ValueError(
@@ -96,6 +102,10 @@ class CommChannel:
         #: Per-rank span recorder (a :class:`repro.obs.RankTracer`); the
         #: shared no-op handle when the run is untraced.
         self.obs = tracer if tracer is not None else NULL_RANK_TRACER
+        #: Per-rank fault handle (a :class:`repro.faults.RankFaults`); the
+        #: shared no-op handle when no faults are injected.  One poll per
+        #: collective on the fault-free path — zero charges, bit parity.
+        self.faults = faults if faults is not None else NULL_RANK_FAULTS
 
     # -- internal helpers ---------------------------------------------------
     @property
@@ -121,6 +131,54 @@ class CommChannel:
             info.wire_words,
             level=level,
             dropped=float(info.dropped),
+        )
+
+    def _collect_with_retry(
+        self, site, info, level, do_collective, decode_one, corrupt_mode
+    ):
+        """Run one collective under the fault layer's retry loop.
+
+        The retry decision is a pure query of the shared fault plan
+        (``faults.poll``), consulted identically by every rank, so either
+        all ranks commit an attempt or all ranks absorb the fault and
+        retry — the collective sequence never diverges.  A ``timeout``
+        fault suppresses the attempt entirely (the collective never
+        completes, no buffers move, nothing is recorded); a ``corrupt``
+        fault lets the collective run, proves on the victim that the
+        codec rejects the damaged wire, then drops the attempt on every
+        rank.  Fault charges land on ``fault_time``, not compute or MPI.
+        """
+        attempt = 0
+        while True:
+            fault = self.faults.poll(site, level, attempt)
+            if fault is not None and fault[1].kind == "timeout":
+                self.faults.absorb(*fault, site, level, attempt)
+                attempt += 1
+                continue
+            self._record(site, info, level)
+            with self.obs.span(site, level=level, wire_words=info.wire_words):
+                pieces = do_collective()
+            if fault is None:
+                return pieces
+            if self.faults.is_corruption_victim(fault[1]):
+                self._verify_corruption(pieces, decode_one, corrupt_mode, site, level)
+            self.faults.absorb(*fault, site, level, attempt)
+            attempt += 1
+
+    def _verify_corruption(self, pieces, decode_one, mode, site, level) -> None:
+        """Damage one received piece and assert the codec rejects it."""
+        hit = corrupt_pieces(pieces, mode)
+        if hit is None:
+            return  # nothing on the wire to damage this attempt
+        index, bad = hit
+        try:
+            decode_one(index, bad)
+        except CodecError:
+            self.comm.count(fault_corruptions=1.0)
+            return
+        raise UndetectedCorruptionError(
+            f"{self.codec.name} codec decoded a corrupted {site} buffer "
+            f"at level {level}"
         )
 
     # -- candidate pair exchange (1D top-down, 2D fold) ---------------------
@@ -184,11 +242,16 @@ class CommChannel:
         rank; identical to the seed's ``alltoallv_concat`` +
         ``unpack_pairs`` under the raw codec.
         """
-        self._record("alltoallv", info, level)
-        with self.obs.span("alltoallv", level=level, wire_words=info.wire_words):
-            pieces = self.comm.alltoallv(send)
+        ctx = self.ranges[self.comm.rank]
+        pieces = self._collect_with_retry(
+            "alltoallv",
+            info,
+            level,
+            lambda: self.comm.alltoallv(send),
+            lambda _r, piece: self.codec.decode_pairs(piece, ctx),
+            "truncate",
+        )
         with self.obs.span("decode", codec=self.codec.name):
-            ctx = self.ranges[self.comm.rank]
             decoded = [self.codec.decode_pairs(piece, ctx) for piece in pieces]
             if decoded:
                 rv = np.concatenate([t for t, _ in decoded])
@@ -220,9 +283,14 @@ class CommChannel:
             buf = self.codec.encode_set(frontier, mine, dense=True)
             self._charge_encode(float(frontier.size), payload, float(buf.size))
         info = ExchangeInfo(int(frontier.size), payload, float(buf.size), 0)
-        self._record("allgatherv", info, level)
-        with self.obs.span("allgatherv", level=level, wire_words=info.wire_words):
-            pieces = self.comm.allgatherv(buf, concat=False)
+        pieces = self._collect_with_retry(
+            "allgatherv",
+            info,
+            level,
+            lambda: self.comm.allgatherv(buf, concat=False),
+            lambda r, piece: self.codec.decode_set(piece, self.ranges[r], dense=True),
+            "truncate",
+        )
         with self.obs.span("decode", codec=self.codec.name):
             nglobal = sum(r.nbits for r in self.ranges)
             mask = np.zeros(nglobal, dtype=bool)
@@ -257,9 +325,18 @@ class CommChannel:
         info = ExchangeInfo(
             int(vertices.size), float(vertices.size), float(buf.size), 0
         )
-        self._record("allgatherv", info, level)
-        with self.obs.span("allgatherv", level=level, wire_words=info.wire_words):
-            pieces = self.comm.allgatherv(buf, concat=False)
+        # Truncating a raw vertex list yields a shorter-but-valid list, so
+        # sparse-list sites smash a header/id word instead — except the
+        # bitmap codec, whose image is dense and length-checked anyway.
+        mode = "truncate" if self.codec.name == "bitmap" else "smash"
+        pieces = self._collect_with_retry(
+            "allgatherv",
+            info,
+            level,
+            lambda: self.comm.allgatherv(buf, concat=False),
+            lambda r, piece: self.codec.decode_set(piece, self.ranges[r], dense=False),
+            mode,
+        )
         with self.obs.span("decode", codec=self.codec.name):
             decoded = [
                 self.codec.decode_set(piece, self.ranges[r], dense=False)

@@ -49,6 +49,35 @@ from repro.core.frontier import (
 )
 
 
+class CodecError(ValueError):
+    """A wire buffer failed decode validation (truncated or corrupted).
+
+    Every decoder raises this — never silently decodes wrong vertex
+    ids — when the buffer is structurally inconsistent: truncated
+    headers or streams, count mismatches, unknown dispatch tags, or
+    decoded ids outside the range both endpoints agreed on.  The fault
+    layer (:mod:`repro.faults`) relies on this contract to catch
+    injected wire corruption inside :class:`~repro.comm.channel.CommChannel`
+    and retry the collective.
+    """
+
+
+def _check_targets(targets: np.ndarray, ctx: VertexRange | None, name: str) -> None:
+    """Validate decoded vertex ids against the agreed range, if usable.
+
+    ``ctx.nbits == 0`` marks a degenerate/unknown range (some callers
+    pass one merely to steer codec applicability), so only positive
+    widths are enforceable.
+    """
+    if ctx is None or ctx.nbits <= 0 or targets.size == 0:
+        return
+    lo, hi = ctx.lo, ctx.lo + ctx.nbits
+    if int(targets.min()) < lo or int(targets.max()) >= hi:
+        raise CodecError(
+            f"corrupt {name} buffer: decoded vertex id outside [{lo}, {hi})"
+        )
+
+
 @dataclass(frozen=True)
 class VertexRange:
     """Contiguous global-id range ``[lo, lo + nbits)`` owned by one rank.
@@ -132,7 +161,14 @@ class RawCodec(Codec):
         return pack_pairs(*_as_pairs(targets, parents))
 
     def decode_pairs(self, wire, ctx=None):
-        return unpack_pairs(wire)
+        wire = np.asarray(wire, dtype=np.int64)
+        if wire.size % 2:
+            raise CodecError(
+                f"corrupt raw pair buffer: odd word count {wire.size}"
+            )
+        targets, parents = unpack_pairs(wire)
+        _check_targets(targets, ctx, self.name)
+        return targets, parents
 
     def encode_set(self, vertices, ctx=None, dense=False):
         vertices = np.asarray(vertices, dtype=np.int64)
@@ -145,9 +181,15 @@ class RawCodec(Codec):
     def decode_set(self, wire, ctx=None, dense=False):
         wire = np.asarray(wire, dtype=np.int64)
         if not dense:
+            _check_targets(wire, ctx, self.name)
             return wire
         if ctx is None:
             raise ValueError("dense set decoding requires a VertexRange ctx")
+        if wire.size != bitmap_words(ctx.nbits):
+            raise CodecError(
+                f"corrupt raw set buffer: {wire.size} bitmap words for "
+                f"a {ctx.nbits}-bit range"
+            )
         mask = unpack_frontier_bitmap(wire.view(np.uint64), ctx.nbits)
         return np.flatnonzero(mask).astype(np.int64) + ctx.lo
 
@@ -185,13 +227,23 @@ class DeltaVarintCodec(Codec):
         if wire.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
+        if wire.size < self.HEADER_WORDS:
+            raise CodecError(
+                f"corrupt delta-varint buffer: truncated header "
+                f"({wire.size} words)"
+            )
         npairs, nbytes = int(wire[0]), int(wire[1])
-        seq = decode_varints(words_to_bytes(wire[self.HEADER_WORDS :], nbytes))
+        try:
+            seq = decode_varints(words_to_bytes(wire[self.HEADER_WORDS :], nbytes))
+        except ValueError as exc:
+            raise CodecError(f"corrupt delta-varint buffer: {exc}") from None
         if seq.size != 2 * npairs:
-            raise ValueError(
+            raise CodecError(
                 f"corrupt delta-varint buffer: {seq.size} values for {npairs} pairs"
             )
-        return _undelta(seq[0::2]), seq[1::2]
+        targets = _undelta(seq[0::2])
+        _check_targets(targets, ctx, self.name)
+        return targets, seq[1::2]
 
     def encode_set(self, vertices, ctx=None, dense=False):
         vertices = np.sort(np.asarray(vertices, dtype=np.int64))
@@ -205,13 +257,23 @@ class DeltaVarintCodec(Codec):
         wire = np.asarray(wire, dtype=np.int64)
         if wire.size == 0:
             return np.empty(0, dtype=np.int64)
+        if wire.size < self.HEADER_WORDS:
+            raise CodecError(
+                f"corrupt delta-varint buffer: truncated header "
+                f"({wire.size} words)"
+            )
         count, nbytes = int(wire[0]), int(wire[1])
-        deltas = decode_varints(words_to_bytes(wire[self.HEADER_WORDS :], nbytes))
+        try:
+            deltas = decode_varints(words_to_bytes(wire[self.HEADER_WORDS :], nbytes))
+        except ValueError as exc:
+            raise CodecError(f"corrupt delta-varint buffer: {exc}") from None
         if deltas.size != count:
-            raise ValueError(
+            raise CodecError(
                 f"corrupt delta-varint buffer: {deltas.size} values for {count}"
             )
-        return _undelta(deltas)
+        vertices = _undelta(deltas)
+        _check_targets(vertices, ctx, self.name)
+        return vertices
 
 
 class BitmapCodec(Codec):
@@ -244,11 +306,16 @@ class BitmapCodec(Codec):
         if ctx is None:
             raise ValueError("bitmap pair decoding requires a VertexRange ctx")
         nwords = bitmap_words(ctx.nbits)
+        if wire.size < nwords:
+            raise CodecError(
+                f"corrupt bitmap buffer: {wire.size} words, shorter than "
+                f"the {nwords}-word bitmap"
+            )
         mask = unpack_frontier_bitmap(wire[:nwords].view(np.uint64), ctx.nbits)
         targets = np.flatnonzero(mask).astype(np.int64) + ctx.lo
         parents = wire[nwords:]
         if parents.size != targets.size:
-            raise ValueError(
+            raise CodecError(
                 f"corrupt bitmap buffer: {parents.size} parents for "
                 f"{targets.size} set bits"
             )
@@ -270,6 +337,11 @@ class BitmapCodec(Codec):
             return np.empty(0, dtype=np.int64)
         if ctx is None:
             raise ValueError("bitmap set decoding requires a VertexRange ctx")
+        if wire.size != bitmap_words(ctx.nbits):
+            raise CodecError(
+                f"corrupt bitmap set buffer: {wire.size} bitmap words for "
+                f"a {ctx.nbits}-bit range"
+            )
         mask = unpack_frontier_bitmap(wire.view(np.uint64), ctx.nbits)
         return np.flatnonzero(mask).astype(np.int64) + ctx.lo
 
@@ -301,6 +373,12 @@ class AutoCodec(Codec):
         tag, wire = min(images, key=lambda item: (item[1].size, item[0]))
         return np.concatenate([np.array([tag], dtype=np.int64), wire])
 
+    def _inner(self, wire: np.ndarray) -> Codec:
+        codec = self._by_tag.get(int(wire[0]))
+        if codec is None:
+            raise CodecError(f"corrupt auto buffer: unknown codec tag {int(wire[0])}")
+        return codec
+
     def encode_pairs(self, targets, parents, ctx=None):
         targets, parents = _as_pairs(targets, parents)
         if targets.size == 0:
@@ -317,7 +395,7 @@ class AutoCodec(Codec):
         if wire.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        return self._by_tag[int(wire[0])].decode_pairs(wire[1:], ctx)
+        return self._inner(wire).decode_pairs(wire[1:], ctx)
 
     def encode_set(self, vertices, ctx=None, dense=False):
         vertices = np.asarray(vertices, dtype=np.int64)
@@ -336,7 +414,7 @@ class AutoCodec(Codec):
         wire = np.asarray(wire, dtype=np.int64)
         if wire.size == 0:
             return np.empty(0, dtype=np.int64)
-        return self._by_tag[int(wire[0])].decode_set(wire[1:], ctx, dense)
+        return self._inner(wire).decode_set(wire[1:], ctx, dense)
 
 
 #: Codec registry: name -> factory.

@@ -23,6 +23,12 @@ import numpy as np
 from repro.comm import CommChannel, Sieve, VertexRange
 from repro.core.frontier import dedup_candidates
 from repro.core.partition import Partition1D
+from repro.faults import (
+    RankCrashError,
+    resolve_rank_faults,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.graphs.csr import CSR
 from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
@@ -45,6 +51,19 @@ def make_sieve(sieve: bool | Sieve | None, nglobal: int) -> Sieve | None:
     return Sieve(nglobal) if sieve else None
 
 
+def sieve_state(sieve: Sieve | None) -> dict:
+    """The sieve's dedup epoch, as checkpoint state entries."""
+    if sieve is None:
+        return {}
+    return {"sieve_seen": sieve.seen, "sieve_dropped": sieve.dropped}
+
+
+def restore_sieve(sieve: Sieve | None, snapshot: dict) -> None:
+    if sieve is not None and "sieve_seen" in snapshot:
+        sieve.seen[:] = snapshot["sieve_seen"]
+        sieve.dropped = int(snapshot["sieve_dropped"])
+
+
 def bfs_1d(
     comm: Communicator,
     csr: CSR,
@@ -56,6 +75,9 @@ def bfs_1d(
     sieve: bool | Sieve = False,
     trace: bool = False,
     tracer=None,
+    faults=None,
+    checkpoint=None,
+    resume_level: int | None = None,
 ) -> dict:
     """Rank body of the 1D algorithm (flat MPI when ``threads == 1``).
 
@@ -87,6 +109,12 @@ def bfs_1d(
         ``td-pack``/``td-exchange``/``td-update``/``sync``) stamped in
         virtual time.  Tracing is passive: results and stats are
         bit-identical with or without it.
+    faults / checkpoint / resume_level:
+        Resilience hooks threaded by ``run_bfs``: a
+        :class:`~repro.faults.FaultContext` firing the run's fault plan,
+        a :class:`~repro.faults.CheckpointConfig` snapshotting the
+        traversal state every N levels, and — on a restart attempt — the
+        checkpointed level to resume from.
 
     Returns
     -------
@@ -98,6 +126,7 @@ def bfs_1d(
     nloc = hi - lo
     charger = Charger(comm, machine=machine, threads=threads)
     obs = resolve_tracer(tracer).for_rank(comm)
+    flt = resolve_rank_faults(faults, comm, charger.machine, obs)
     channel = CommChannel(
         comm,
         partition_ranges(part, comm.size),
@@ -105,6 +134,7 @@ def bfs_1d(
         sieve=make_sieve(sieve, csr.n),
         charger=charger,
         tracer=obs,
+        faults=flt,
     )
 
     levels = np.full(nloc, -1, dtype=np.int64)
@@ -117,8 +147,26 @@ def bfs_1d(
         frontier = np.empty(0, dtype=np.int64)
 
     level = 1
+    if resume_level is not None:
+        snap = restore_checkpoint(checkpoint, comm, charger, obs, resume_level)
+        levels[:] = snap["levels"]
+        parents[:] = snap["parents"]
+        frontier = snap["frontier"].copy()
+        restore_sieve(channel.sieve, snap)
+        level = resume_level + 1
+
     level_trace: list[dict] = []
+    crashed = None
     while True:
+        # Cooperative failure detection: every rank observes a scheduled
+        # crash at the same level boundary and returns a crash marker —
+        # no engine abort, so clocks, spans, and the checkpoint store
+        # stay deterministic for the recovery driver to restart from.
+        try:
+            flt.on_level_start(level)
+        except RankCrashError as crash:
+            crashed = crash
+            break
         with obs.span("level", level=level):
             frontier_in = int(frontier.size)
             # 1. Enumerate adjacencies of the local frontier (global vertex
@@ -183,6 +231,13 @@ def bfs_1d(
                 charger.level_overhead()
                 with obs.span("allreduce"):
                     total_new = comm.allreduce(int(frontier.size))
+
+            # The termination Allreduce just made level complete on every
+            # rank — the globally-consistent point a snapshot must cover.
+            if checkpoint is not None and total_new > 0 and checkpoint.due(level):
+                state = {"levels": levels, "parents": parents, "frontier": frontier}
+                state.update(sieve_state(channel.sieve))
+                save_checkpoint(checkpoint, comm, charger, obs, level, state)
         if total_new == 0:
             break
         level += 1
@@ -194,6 +249,8 @@ def bfs_1d(
         "parents": parents,
         "nlevels": level,
     }
+    if crashed is not None:
+        result["crashed"] = crashed
     if trace:
         result["trace"] = level_trace
     return result

@@ -27,9 +27,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.comm import CommChannel, VertexRange
-from repro.core.bfs1d import make_sieve
+from repro.core.bfs1d import make_sieve, restore_sieve, sieve_state
 from repro.core.frontier import dedup_candidates
 from repro.core.partition import Decomp2D
+from repro.faults import (
+    RankCrashError,
+    resolve_rank_faults,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.graphs.csr import CSR
 from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
@@ -105,6 +111,9 @@ def bfs_2d(
     sieve=False,
     trace: bool = False,
     tracer=None,
+    faults=None,
+    checkpoint=None,
+    resume_level: int | None = None,
 ) -> dict:
     """Rank body of the 2D algorithm (flat MPI when ``threads == 1``).
 
@@ -118,6 +127,10 @@ def bfs_2d(
     :class:`~repro.obs.tracer.Tracer` recording each level's
     ``transpose``/``expand``/``spmsv``/``fold-pack``/``fold-exchange``/
     ``update``/``sync`` spans in virtual time.
+    ``faults``/``checkpoint``/``resume_level`` are the resilience hooks
+    threaded by ``run_bfs`` (see :func:`repro.core.bfs1d.bfs_1d`); the
+    fault view is shared by the row and column channels, so a transient
+    scheduled on either collective site fires exactly once.
     """
     grid = ProcessorGrid(comm, decomp.pr, decomp.pc)
     # Row-split DCSC pieces are embarrassingly thread-parallel (Figure 2).
@@ -138,18 +151,19 @@ def bfs_2d(
     # decode + concat is exact).  Both channels share one sieve — a vertex
     # observed discovered through the expand never needs folding again.
     shared_sieve = make_sieve(sieve, decomp.n)
+    flt = resolve_rank_faults(faults, comm, charger.machine, obs)
     row_ranges = [
         VertexRange(vlo, vhi - vlo)
         for vlo, vhi in (decomp.vec_piece(grid.row, j) for j in range(decomp.pc))
     ]
     row_channel = CommChannel(
         grid.row_comm, row_ranges, codec=codec, sieve=shared_sieve,
-        charger=charger, tracer=obs,
+        charger=charger, tracer=obs, faults=flt,
     )
     col_ranges = [VertexRange(col_lo, col_hi - col_lo)] * grid.col_comm.size
     col_channel = CommChannel(
         grid.col_comm, col_ranges, codec=codec, sieve=shared_sieve,
-        charger=charger, tracer=obs,
+        charger=charger, tracer=obs, faults=flt,
     )
 
     levels = np.full(nloc, -1, dtype=np.int64)
@@ -164,9 +178,27 @@ def bfs_2d(
         frontier = np.empty(0, dtype=np.int64)
 
     level = 1
+    if resume_level is not None:
+        snap = restore_checkpoint(checkpoint, comm, charger, obs, resume_level)
+        levels[:] = snap["levels"]
+        parents[:] = snap["parents"]
+        frontier = snap["frontier"].copy()
+        restore_sieve(shared_sieve, snap)
+        total = int(snap["total"])
+        level = resume_level + 1
+    else:
+        total = comm.allreduce(int(frontier.size))
+
     level_trace: list[dict] = []
-    total = comm.allreduce(int(frontier.size))
+    crashed = None
     while total > 0:
+        # Cooperative failure detection at the level boundary (see
+        # repro.core.bfs1d): all ranks observe the crash, none abort.
+        try:
+            flt.on_level_start(level)
+        except RankCrashError as crash:
+            crashed = crash
+            break
         frontier_in = int(frontier.size)
         with obs.span("level", level=level):
             # 1. TransposeVector: line the frontier up with processor
@@ -284,6 +316,18 @@ def bfs_2d(
                 charger.level_overhead()
                 with obs.span("allreduce"):
                     total = comm.allreduce(int(frontier.size))
+
+            # The termination Allreduce just made the level globally
+            # complete on every rank; snapshot the vector-piece state.
+            if checkpoint is not None and total > 0 and checkpoint.due(level):
+                state = {
+                    "levels": levels,
+                    "parents": parents,
+                    "frontier": frontier,
+                    "total": total,
+                }
+                state.update(sieve_state(shared_sieve))
+                save_checkpoint(checkpoint, comm, charger, obs, level, state)
         level += 1
 
     result = {
@@ -293,6 +337,8 @@ def bfs_2d(
         "parents": parents,
         "nlevels": level - 1,
     }
+    if crashed is not None:
+        result["crashed"] = crashed
     if trace:
         result["trace"] = level_trace
     return result

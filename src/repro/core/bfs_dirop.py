@@ -34,7 +34,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm import CommChannel
-from repro.core.bfs1d import make_sieve, partition_ranges
+from repro.core.bfs1d import (
+    make_sieve,
+    partition_ranges,
+    restore_sieve,
+    sieve_state,
+)
 from repro.core.frontier import (
     bitmap_words,
     dedup_candidates,
@@ -42,6 +47,12 @@ from repro.core.frontier import (
     should_switch_top_down,
 )
 from repro.core.partition import Partition1D
+from repro.faults import (
+    RankCrashError,
+    resolve_rank_faults,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.graphs.csr import CSR
 from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, Charger
 from repro.mpsim.communicator import Communicator
@@ -165,6 +176,9 @@ def bfs_1d_dirop(
     symmetric: bool = True,
     trace: bool = False,
     tracer=None,
+    faults=None,
+    checkpoint=None,
+    resume_level: int | None = None,
 ) -> dict:
     """Rank body of the direction-optimizing 1D algorithm.
 
@@ -195,6 +209,12 @@ def bfs_1d_dirop(
         spans in virtual time: ``td-*`` phases on top-down levels,
         ``bu-expand``/``bu-scan``/``bu-update`` on bottom-up ones, and the
         level-closing ``sync`` around the frontier-stats ``Allreduce``.
+    faults / checkpoint / resume_level:
+        Resilience hooks threaded by ``run_bfs`` (see
+        :func:`repro.core.bfs1d.bfs_1d`).  Snapshots additionally carry
+        the direction-optimizing hysteresis state (current ``direction``,
+        the unexplored-edge count and the last global frontier stats), so
+        a restarted attempt resumes with the same switch decisions.
 
     Returns
     -------
@@ -208,6 +228,7 @@ def bfs_1d_dirop(
     nloc = hi - lo
     charger = Charger(comm, machine=machine, threads=threads)
     obs = resolve_tracer(tracer).for_rank(comm)
+    flt = resolve_rank_faults(faults, comm, charger.machine, obs)
     channel = CommChannel(
         comm,
         partition_ranges(part, comm.size),
@@ -215,6 +236,7 @@ def bfs_1d_dirop(
         sieve=make_sieve(sieve, csr.n),
         charger=charger,
         tracer=obs,
+        faults=flt,
     )
     degrees = csr.indptr[lo + 1 : hi + 1] - csr.indptr[lo:hi]
 
@@ -235,14 +257,35 @@ def bfs_1d_dirop(
             [front.size, fedges, unexplored_edges], dtype=np.int64
         )
 
-    g_front, g_fedges, g_unexplored = (
-        int(x) for x in comm.allreduce(frontier_stats(frontier))
-    )
-
     level = 1
     direction = TOP_DOWN
+    if resume_level is not None:
+        snap = restore_checkpoint(checkpoint, comm, charger, obs, resume_level)
+        levels[:] = snap["levels"]
+        parents[:] = snap["parents"]
+        frontier = snap["frontier"].copy()
+        restore_sieve(channel.sieve, snap)
+        direction = snap["direction"]
+        unexplored_edges = int(snap["unexplored_edges"])
+        g_front = int(snap["g_front"])
+        g_fedges = int(snap["g_fedges"])
+        g_unexplored = int(snap["g_unexplored"])
+        level = resume_level + 1
+    else:
+        g_front, g_fedges, g_unexplored = (
+            int(x) for x in comm.allreduce(frontier_stats(frontier))
+        )
+
     level_trace: list[dict] = []
+    crashed = None
     while True:
+        # Cooperative failure detection at the level boundary (see
+        # repro.core.bfs1d): all ranks observe the crash, none abort.
+        try:
+            flt.on_level_start(level)
+        except RankCrashError as crash:
+            crashed = crash
+            break
         # Direction choice: collective state only, so every rank flips in
         # lockstep without extra communication.
         if symmetric:
@@ -291,6 +334,22 @@ def bfs_1d_dirop(
                     g_front, g_fedges, g_unexplored = (
                         int(x) for x in comm.allreduce(frontier_stats(frontier))
                     )
+
+            # The stats Allreduce just made the level globally complete;
+            # snapshot the traversal plus the switch-hysteresis state.
+            if checkpoint is not None and g_front > 0 and checkpoint.due(level):
+                state = {
+                    "levels": levels,
+                    "parents": parents,
+                    "frontier": frontier,
+                    "direction": direction,
+                    "unexplored_edges": unexplored_edges,
+                    "g_front": g_front,
+                    "g_fedges": g_fedges,
+                    "g_unexplored": g_unexplored,
+                }
+                state.update(sieve_state(channel.sieve))
+                save_checkpoint(checkpoint, comm, charger, obs, level, state)
         if g_front == 0:
             break
         level += 1
@@ -302,6 +361,8 @@ def bfs_1d_dirop(
         "parents": parents,
         "nlevels": level,
     }
+    if crashed is not None:
+        result["crashed"] = crashed
     if trace:
         result["trace"] = level_trace
     return result

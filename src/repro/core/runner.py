@@ -21,6 +21,14 @@ from repro.core.bfs_dirop import bfs_1d_dirop
 from repro.core.partition import Decomp2D
 from repro.core.serial import bfs_serial
 from repro.core.validate import count_traversed_edges, validate_bfs
+from repro.faults import (
+    CheckpointConfig,
+    CheckpointStore,
+    FaultContext,
+    RankCrashError,
+    RetryPolicy,
+    resolve_fault_plan,
+)
 from repro.graphs.graph import Graph
 from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, NetworkCostModel
 from repro.model.machine import HOPPER, get_machine
@@ -117,6 +125,9 @@ def run_bfs(
     validate: bool = False,
     trace: bool = False,
     tracer=None,
+    faults=None,
+    checkpoint_every: int | None = None,
+    max_retries: int | None = None,
 ) -> BFSResult:
     """Run one BFS traversal of ``graph`` from ``source``.
 
@@ -187,6 +198,23 @@ def run_bfs(
         stored in ``result.meta["tracer"]`` so
         :func:`repro.obs.run_report` and
         :func:`repro.obs.write_chrome_trace` can find it.
+    faults:
+        Deterministic fault schedule for the run: a ``--fault-spec``
+        string (``"crash:rank=1,level=3;timeout:level=2;seed=7"``), a
+        :class:`~repro.faults.FaultEvent`, or a
+        :class:`~repro.faults.FaultPlan`.  Transient faults
+        (timeout/corrupt) are absorbed by the comm channel's retry loop;
+        a crash aborts the SPMD run, and — when checkpointing is on —
+        the driver restarts it from the last complete checkpoint on a
+        continuous virtual timeline.  1d/2d families only.
+    checkpoint_every:
+        Snapshot every N levels (level-granular checkpoint/restart); the
+        save/restore traffic is charged by the cost model.  ``None``
+        disables checkpointing, so an injected crash aborts the run.
+    max_retries:
+        Per-collective transient-retry budget (default
+        :class:`~repro.faults.RetryPolicy`'s 3); a fault schedule denser
+        than the budget raises ``RetryExhaustedError``.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
@@ -206,7 +234,16 @@ def run_bfs(
             f"{algorithm} is not instrumented for span tracing; "
             "tracer applies to the 1d/2d families only"
         )
+    resilient = (
+        faults is not None or checkpoint_every is not None or max_retries is not None
+    )
+    if resilient and family in ("serial", "pbgl", "graph500-ref"):
+        raise ValueError(
+            f"{algorithm} has no fault/checkpoint instrumentation; "
+            "faults/checkpoint_every/max_retries apply to the 1d/2d families only"
+        )
     src_internal = int(np.asarray(graph.to_internal(source)))
+    fault_meta = None
 
     if family == "serial":
         levels_int, parents_int = bfs_serial(graph.csr, src_internal)
@@ -222,37 +259,45 @@ def run_bfs(
         if family in ("1d", "1d-dirop", "pbgl", "graph500-ref"):
             nranks = nprocs
             if family == "1d":
-                spmd = run_spmd(
+                spmd, fault_meta = _run_resilient(
                     nranks,
                     bfs_1d,
-                    graph.csr,
-                    src_internal,
-                    machine=machine,
-                    threads=threads,
-                    dedup_sends=dedup_sends,
-                    codec=codec,
-                    sieve=sieve,
-                    trace=trace,
-                    tracer=tracer,
-                    cost_model=cost_model,
+                    (graph.csr, src_internal),
+                    dict(
+                        machine=machine,
+                        threads=threads,
+                        dedup_sends=dedup_sends,
+                        codec=codec,
+                        sieve=sieve,
+                        trace=trace,
+                        tracer=tracer,
+                    ),
+                    cost_model,
+                    faults,
+                    checkpoint_every,
+                    max_retries,
                 )
             elif family == "1d-dirop":
-                spmd = run_spmd(
+                spmd, fault_meta = _run_resilient(
                     nranks,
                     bfs_1d_dirop,
-                    graph.csr,
-                    src_internal,
-                    machine=machine,
-                    threads=threads,
-                    dedup_sends=dedup_sends,
-                    codec=codec,
-                    sieve=sieve,
-                    alpha=dirop_alpha,
-                    beta=dirop_beta,
-                    symmetric=not graph.directed,
-                    trace=trace,
-                    tracer=tracer,
-                    cost_model=cost_model,
+                    (graph.csr, src_internal),
+                    dict(
+                        machine=machine,
+                        threads=threads,
+                        dedup_sends=dedup_sends,
+                        codec=codec,
+                        sieve=sieve,
+                        alpha=dirop_alpha,
+                        beta=dirop_beta,
+                        symmetric=not graph.directed,
+                        trace=trace,
+                        tracer=tracer,
+                    ),
+                    cost_model,
+                    faults,
+                    checkpoint_every,
+                    max_retries,
                 )
             elif family == "pbgl":
                 from repro.baselines.pbgl_like import bfs_pbgl_like
@@ -299,21 +344,24 @@ def run_bfs(
                 cost_model = NetworkCostModel(
                     machine, threads=threads, total_ranks=nranks
                 )
-            spmd = run_spmd(
+            spmd, fault_meta = _run_resilient(
                 nranks,
                 bfs_2d,
-                blocks,
-                decomp,
-                src_internal,
-                machine=machine,
-                threads=threads,
-                kernel=kernel,
-                modeled_cores=modeled_cores,
-                codec=codec,
-                sieve=sieve,
-                trace=trace,
-                tracer=tracer,
-                cost_model=cost_model,
+                (blocks, decomp, src_internal),
+                dict(
+                    machine=machine,
+                    threads=threads,
+                    kernel=kernel,
+                    modeled_cores=modeled_cores,
+                    codec=codec,
+                    sieve=sieve,
+                    trace=trace,
+                    tracer=tracer,
+                ),
+                cost_model,
+                faults,
+                checkpoint_every,
+                max_retries,
             )
             levels_int = np.empty(graph.n, dtype=np.int64)
             parents_int = np.empty(graph.n, dtype=np.int64)
@@ -361,8 +409,123 @@ def run_bfs(
             "dirop_beta": DIROP_BETA if dirop_beta is None else dirop_beta,
             "level_profile": level_profile,
             "tracer": tracer,
+            "faults": fault_meta,
         },
     )
+
+
+#: Counters the resilience layer books on the rank clocks; accumulated
+#: across restart attempts (a failed attempt's checkpoints and retries
+#: are real modeled work the report must not drop).
+_FAULT_COUNTERS = (
+    "fault_retries",
+    "fault_delays",
+    "fault_corruptions",
+    "checkpoints",
+    "checkpoint_words",
+    "restores",
+    "restore_words",
+)
+
+
+def _run_resilient(
+    nranks, body, args, kwargs, cost_model, faults, checkpoint_every, max_retries
+):
+    """Launch an SPMD BFS with the run's fault plan armed.
+
+    The fast path (no resilience options) is the plain ``run_spmd`` call.
+    Otherwise the fault plan and checkpoint store are built once and the
+    launch loops: a permanent rank crash is observed cooperatively by
+    every rank at the level boundary (the bodies return a ``"crashed"``
+    marker, so the SPMD run completes normally with deterministic clocks
+    and spans); with checkpointing on, the crash event is marked consumed
+    and the run restarts from the last complete checkpoint (or from the
+    source when the crash predates the first one), ``base_time``
+    continuing the failed attempt's virtual timeline.  A crash with
+    checkpointing disabled raises the
+    :class:`~repro.faults.RankCrashError` — a clean abort, never a hang.
+
+    Returns ``(SpmdResult, fault_meta | None)``.
+    """
+    if faults is None and checkpoint_every is None and max_retries is None:
+        return run_spmd(nranks, body, *args, cost_model=cost_model, **kwargs), None
+
+    plan = resolve_fault_plan(faults)
+    if len(plan) and plan.max_rank() >= nranks:
+        raise ValueError(
+            f"fault plan targets rank {plan.max_rank()} "
+            f"but the run has only {nranks} ranks"
+        )
+    retry = RetryPolicy() if max_retries is None else RetryPolicy(max_retries=max_retries)
+    fault_ctx = FaultContext(plan, retry)
+    checkpoint = (
+        CheckpointConfig(CheckpointStore(nranks), every=checkpoint_every)
+        if checkpoint_every is not None
+        else None
+    )
+
+    counters = dict.fromkeys(_FAULT_COUNTERS, 0.0)
+
+    def accumulate(stats):
+        for name in _FAULT_COUNTERS:
+            counters[name] += stats.counter(name)
+
+    restores: list[dict] = []
+    attempts = 1
+    resume = None
+    base = 0.0
+    while True:
+        spmd = run_spmd(
+            nranks,
+            body,
+            *args,
+            cost_model=cost_model,
+            base_time=base,
+            faults=fault_ctx,
+            checkpoint=checkpoint,
+            resume_level=resume,
+            **kwargs,
+        )
+        crash = next(
+            (
+                r["crashed"]
+                for r in spmd.returns
+                if isinstance(r, dict) and "crashed" in r
+            ),
+            None,
+        )
+        if crash is None:
+            break
+        accumulate(spmd.stats)
+        base = spmd.stats.makespan
+        if checkpoint is None:
+            raise crash
+        # No complete checkpoint yet (crash before the first interval)
+        # still recovers: None replays the traversal from the source.
+        resume = checkpoint.store.latest_complete()
+        plan.mark_fired(crash.event_index)
+        restores.append(
+            {
+                "rank": crash.rank,
+                "crash_level": crash.level,
+                "resume_level": resume,
+                "at_time": base,
+            }
+        )
+        attempts += 1
+
+    accumulate(spmd.stats)
+    fault_meta = {
+        "spec": plan.spec(),
+        "seed": plan.seed,
+        "events": [event.as_dict() for event in plan.events],
+        "max_retries": retry.max_retries,
+        "checkpoint_every": checkpoint_every,
+        "attempts": attempts,
+        "restores": restores,
+        "counters": counters,
+    }
+    return spmd, fault_meta
 
 
 def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
@@ -375,11 +538,14 @@ def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
     nlevels = max(len(t) for t in rank_traces)
     merged: list[dict] = []
     for i in range(nlevels):
+        # Levels are lockstep but need not start at 1: a checkpoint-
+        # restarted run's profile covers resume_level+1 onward.
         entry = {"level": i + 1, "frontier": 0, "candidates": 0,
                  "words_sent": 0, "wire_words": 0, "sieve_dropped": 0,
                  "discovered": 0}
         for t in rank_traces:
             if i < len(t):
+                entry["level"] = t[i].get("level", i + 1)
                 for key in ("frontier", "candidates", "words_sent",
                             "wire_words", "sieve_dropped", "discovered"):
                     entry[key] += t[i].get(key, 0)

@@ -1,0 +1,97 @@
+"""Fault injection, retry, and checkpoint-restart (``repro.faults``).
+
+The resilience layer of the reproduction: deterministic, seeded fault
+schedules fired against the simulated BFS runs — rank crashes at a
+chosen level, collective timeouts, corrupted wire buffers, straggler
+delays — all charged in virtual time, plus the machinery that survives
+them:
+
+* :mod:`~repro.faults.spec` — :class:`FaultPlan` schedules, the
+  ``--fault-spec`` grammar, and :class:`RetryPolicy` (timeout/backoff
+  priced by the alpha-beta model);
+* :mod:`~repro.faults.injection` — per-rank fault firing with symmetric
+  retry decisions, and the typed failure hierarchy;
+* :mod:`~repro.faults.checkpoint` — level-granular checkpoint/restart
+  exploiting the lockstep structure of level-synchronous BFS.
+
+Typical flow::
+
+    result = repro.run_bfs(graph, src, "1d", nprocs=4, machine="hopper",
+                           faults="crash:rank=1,level=3",
+                           checkpoint_every=1)
+    result.meta["faults"]       # attempts, restores, retry counters
+
+Transient faults (timeout/corrupt) are absorbed by the comm channel's
+retry loop; a permanent crash ends the attempt (every rank returns a
+crash marker) and the driver in ``run_bfs`` restarts the run from the
+last complete checkpoint, replaying to parents bit-identical to the
+fault-free traversal.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.faults.injection import (
+    NULL_RANK_FAULTS,
+    FaultError,
+    NullRankFaults,
+    RankCrashError,
+    RankFaults,
+    RetryExhaustedError,
+    UndetectedCorruptionError,
+    corrupt_pieces,
+    resolve_rank_faults,
+)
+from repro.faults.spec import (
+    KINDS,
+    SITES,
+    TRANSIENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+    parse_fault_spec,
+    random_fault_plan,
+    resolve_fault_plan,
+)
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """What ``run_bfs`` threads into the rank bodies of a faulted run."""
+
+    plan: FaultPlan
+    retry: RetryPolicy
+
+
+__all__ = [
+    "KINDS",
+    "SITES",
+    "TRANSIENT_KINDS",
+    "FaultContext",
+    "FaultEvent",
+    "FaultPlan",
+    "RetryPolicy",
+    "parse_fault_spec",
+    "random_fault_plan",
+    "resolve_fault_plan",
+    "NULL_RANK_FAULTS",
+    "FaultError",
+    "NullRankFaults",
+    "RankCrashError",
+    "RankFaults",
+    "RetryExhaustedError",
+    "UndetectedCorruptionError",
+    "corrupt_pieces",
+    "resolve_rank_faults",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "restore_checkpoint",
+    "save_checkpoint",
+]

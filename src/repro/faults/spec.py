@@ -1,0 +1,320 @@
+"""Deterministic fault schedules and retry policies.
+
+A fault *plan* is a finite list of scheduled :class:`FaultEvent`\\ s plus
+a seed.  Nothing in the subsystem draws entropy at runtime: every fault
+fires at a position fixed by the plan (victim rank, BFS level, collective
+site, retry attempt), so a run with a given ``(seed, spec)`` is exactly
+reproducible — the property the differential test battery asserts.
+
+The textual spec grammar (CLI ``--fault-spec``) is ``;``-separated
+events, each ``kind:key=value,key=value,...``::
+
+    crash:rank=1,level=3                       # permanent rank loss
+    timeout:level=2,site=alltoallv             # collective never completes
+    corrupt:rank=0,level=2                     # rank 0's receive buffer damaged
+    delay:rank=2,level=1,seconds=1e-3          # straggler delay
+    seed=42                                    # plan seed (optional segment)
+
+e.g. ``"crash:rank=1,level=3;delay:rank=0,level=2,seconds=1e-3;seed=7"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: All schedulable fault kinds.
+KINDS = ("crash", "timeout", "corrupt", "delay")
+#: Kinds absorbed by the channel retry loop (vs. permanent / local).
+TRANSIENT_KINDS = ("timeout", "corrupt")
+#: Collective sites transient faults can target (``*`` = either).
+SITES = ("alltoallv", "allgatherv", "*")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        ``crash`` (permanent rank loss at the start of ``level``),
+        ``timeout`` (one collective attempt at ``level`` never
+        completes), ``corrupt`` (rank ``rank``'s received wire buffer is
+        damaged at ``level``), or ``delay`` (rank ``rank`` stalls for
+        ``seconds`` of virtual time at the start of ``level``).
+    rank:
+        Victim global rank.  Required for crash/corrupt/delay; ignored
+        for timeout (a timed-out collective stalls every participant).
+    level:
+        BFS level (>= 1) the fault fires at.
+    site:
+        For transient kinds: which collective family the fault hits
+        (``alltoallv``, ``allgatherv``, or ``*`` for the level's first).
+    seconds:
+        Straggler duration for ``delay``.
+    attempt:
+        For transient kinds: which retry attempt the fault disrupts
+        (0 = the initial try), letting schedules stack repeated faults
+        on one collective up to retry exhaustion.
+    """
+
+    kind: str
+    rank: int = -1
+    level: int = 1
+    site: str = "*"
+    seconds: float = 0.0
+    attempt: int = 0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+        if self.level < 1:
+            raise ValueError(f"fault level must be >= 1, got {self.level}")
+        if self.kind in ("crash", "corrupt", "delay") and self.rank < 0:
+            raise ValueError(f"{self.kind} fault requires rank >= 0")
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; known: {SITES}")
+        if self.seconds < 0:
+            raise ValueError(f"fault seconds must be >= 0, got {self.seconds}")
+        if self.attempt < 0:
+            raise ValueError(f"fault attempt must be >= 0, got {self.attempt}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe form for run reports."""
+        out = {"kind": self.kind, "level": self.level}
+        if self.kind != "timeout":
+            out["rank"] = self.rank
+        if self.kind in TRANSIENT_KINDS:
+            out["site"] = self.site
+            out["attempt"] = self.attempt
+        if self.kind == "delay":
+            out["seconds"] = self.seconds
+        return out
+
+
+class FaultPlan:
+    """A deterministic fault schedule shared by every rank of a run.
+
+    The plan is consulted identically by all ranks (pure queries keyed on
+    level/site/attempt), which keeps the lockstep collective sequence
+    symmetric — no rank ever retries a collective its peers committed.
+    ``fired`` records permanently-consumed events (crashes the recovery
+    driver has already restarted past), so a restarted attempt replays
+    the same levels without re-dying.
+    """
+
+    def __init__(self, events=(), seed: int = 0):
+        self.events: tuple[FaultEvent, ...] = tuple(events)
+        self.seed = int(seed)
+        self.fired: set[int] = set()
+
+    def copy(self) -> FaultPlan:
+        """A fresh plan with the same schedule and nothing fired yet."""
+        return FaultPlan(self.events, seed=self.seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan({list(self.events)!r}, seed={self.seed})"
+
+    def mark_fired(self, index: int) -> None:
+        """Permanently consume an event (the driver, after a restart)."""
+        self.fired.add(index)
+
+    def crash_at_level(self, level: int) -> tuple[int, FaultEvent] | None:
+        """The first unfired crash scheduled at ``level``, if any."""
+        for index, event in enumerate(self.events):
+            if (
+                event.kind == "crash"
+                and event.level == level
+                and index not in self.fired
+            ):
+                return index, event
+        return None
+
+    def delay_at(self, rank: int, level: int) -> tuple[int, FaultEvent] | None:
+        """The delay hitting ``rank`` at the start of ``level``, if any."""
+        for index, event in enumerate(self.events):
+            if event.kind == "delay" and event.rank == rank and event.level == level:
+                return index, event
+        return None
+
+    def transients_at(self, site: str, level: int):
+        """All timeout/corrupt events matching ``(site, level)``, in order."""
+        for index, event in enumerate(self.events):
+            if (
+                event.kind in TRANSIENT_KINDS
+                and event.level == level
+                and event.site in ("*", site)
+            ):
+                yield index, event
+
+    def max_rank(self) -> int:
+        """Largest rank any event names (-1 if none do)."""
+        return max((e.rank for e in self.events), default=-1)
+
+    def spec(self) -> str:
+        """Round-trippable textual form (the ``--fault-spec`` grammar)."""
+        parts = []
+        for event in self.events:
+            fields = []
+            if event.kind != "timeout":
+                fields.append(f"rank={event.rank}")
+            fields.append(f"level={event.level}")
+            if event.kind in TRANSIENT_KINDS:
+                if event.site != "*":
+                    fields.append(f"site={event.site}")
+                if event.attempt:
+                    fields.append(f"attempt={event.attempt}")
+            if event.kind == "delay":
+                fields.append(f"seconds={event.seconds:g}")
+            parts.append(f"{event.kind}:" + ",".join(fields))
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+
+_FIELD_PARSERS = {
+    "rank": int,
+    "level": int,
+    "site": str,
+    "seconds": float,
+    "attempt": int,
+}
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse the ``--fault-spec`` grammar into a :class:`FaultPlan`."""
+    events: list[FaultEvent] = []
+    seed = 0
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith("seed="):
+            seed = int(part[len("seed=") :])
+            continue
+        kind, sep, rest = part.partition(":")
+        kind = kind.strip()
+        if not sep and kind not in KINDS:
+            raise ValueError(
+                f"bad fault spec segment {part!r}: expected 'kind:key=value,...'"
+            )
+        fields: dict = {}
+        if rest.strip():
+            for item in rest.split(","):
+                key, sep, value = item.partition("=")
+                key = key.strip()
+                if not sep or key not in _FIELD_PARSERS:
+                    raise ValueError(
+                        f"bad fault spec field {item!r} in {part!r}; "
+                        f"known keys: {sorted(_FIELD_PARSERS)}"
+                    )
+                fields[key] = _FIELD_PARSERS[key](value.strip())
+        events.append(FaultEvent(kind=kind, **fields))
+    return FaultPlan(events, seed=seed)
+
+
+def resolve_fault_plan(faults) -> FaultPlan:
+    """Coerce user input into a *fresh* plan instance.
+
+    Strings are parsed; plans are copied so repeated runs with the same
+    object (or the same spec string) start from identical unfired state —
+    the per-search independence ``run_graph500`` and the differential
+    determinism tests rely on.
+    """
+    if faults is None:
+        return FaultPlan()
+    if isinstance(faults, str):
+        return parse_fault_spec(faults)
+    if isinstance(faults, FaultEvent):
+        return FaultPlan((faults,))
+    if isinstance(faults, FaultPlan):
+        return faults.copy()
+    raise TypeError(
+        f"faults must be a spec string, FaultEvent, FaultPlan, or None; "
+        f"got {type(faults).__name__}"
+    )
+
+
+def random_fault_plan(
+    seed: int,
+    nranks: int,
+    max_level: int,
+    n_transients: int = 2,
+    crash: bool = True,
+    delay: bool = True,
+) -> FaultPlan:
+    """Draw a reproducible random schedule (the property-test generator).
+
+    At most one crash (recovery restarts are exercised one loss at a
+    time), ``n_transients`` timeout/corrupt events, and an optional
+    straggler delay, all placed uniformly over ranks and levels by
+    ``numpy``'s seeded generator.
+    """
+    rng = np.random.default_rng(seed)
+    events: list[FaultEvent] = []
+    if crash:
+        events.append(
+            FaultEvent(
+                kind="crash",
+                rank=int(rng.integers(nranks)),
+                level=int(rng.integers(1, max_level + 1)),
+            )
+        )
+    for _ in range(n_transients):
+        kind = str(rng.choice(TRANSIENT_KINDS))
+        events.append(
+            FaultEvent(
+                kind=kind,
+                rank=int(rng.integers(nranks)),
+                level=int(rng.integers(1, max_level + 1)),
+                site=str(rng.choice(SITES)),
+                attempt=int(rng.integers(2)),
+            )
+        )
+    if delay:
+        events.append(
+            FaultEvent(
+                kind="delay",
+                rank=int(rng.integers(nranks)),
+                level=int(rng.integers(1, max_level + 1)),
+                seconds=float(rng.uniform(1e-5, 1e-3)),
+            )
+        )
+    return FaultPlan(events, seed=seed)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/backoff pricing for transient collective faults.
+
+    All durations are expressed in units of the machine's network latency
+    (the alpha of the alpha-beta model): ``timeout_factor`` models how
+    long a rank waits before declaring the collective dead, and the
+    ``attempt``-th retry backs off ``backoff_factor * backoff_growth **
+    attempt`` latencies before reissuing.  With no machine model the
+    charges are zero, but the retries (and their counters) still happen.
+    """
+
+    max_retries: int = 3
+    timeout_factor: float = 1000.0
+    backoff_factor: float = 100.0
+    backoff_growth: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def penalty_seconds(self, machine, attempt: int) -> float:
+        """Virtual seconds lost to one failed attempt (detect + back off)."""
+        if machine is None:
+            return 0.0
+        alpha = machine.net_latency
+        return alpha * (
+            self.timeout_factor
+            + self.backoff_factor * self.backoff_growth**attempt
+        )

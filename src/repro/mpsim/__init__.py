@@ -23,6 +23,7 @@ from repro.mpsim.engine import (
     CollectiveCostModel,
     SimAborted,
     SimEngine,
+    SpmdFailure,
     SpmdResult,
     ZeroCostModel,
     run_spmd,
@@ -38,6 +39,7 @@ __all__ = [
     "ZeroCostModel",
     "SimAborted",
     "SimEngine",
+    "SpmdFailure",
     "SpmdResult",
     "run_spmd",
     "ProcessorGrid",

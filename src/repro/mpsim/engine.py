@@ -27,6 +27,23 @@ class SimAborted(RuntimeError):
     """Raised inside rank threads when the simulation is torn down."""
 
 
+class SpmdFailure(RuntimeError):
+    """Raised by :func:`run_spmd` when a rank body failed.
+
+    Subclasses ``RuntimeError`` with the historical message format, but
+    additionally carries the failing rank, the original exception, and
+    the partial :class:`~repro.mpsim.stats.SimStats` at abort time —
+    which a recovery driver (see :mod:`repro.faults`) needs to restart
+    the run from a checkpoint with a continuous virtual timeline.
+    """
+
+    def __init__(self, rank: int, exc: BaseException, stats: SimStats):
+        super().__init__(f"SPMD rank {rank} failed: {exc!r}")
+        self.rank = rank
+        self.exc = exc
+        self.stats = stats
+
+
 class CollectiveCostModel:
     """Timing model consulted by the engine at every collective.
 
@@ -71,9 +88,12 @@ class SimEngine:
         timeout: float = DEFAULT_TIMEOUT,
         record_peers: bool = False,
         record_timeline: bool = False,
+        base_time: float = 0.0,
     ):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if base_time < 0:
+            raise ValueError(f"base_time must be >= 0, got {base_time}")
         self.nranks = nranks
         self.cost_model = cost_model if cost_model is not None else ZeroCostModel()
         self.timeout = timeout
@@ -83,7 +103,10 @@ class SimEngine:
         #: When set, every collective leaves a TimelineEvent on its rank
         #: (render with repro.mpsim.timeline.render_timeline).
         self.record_timeline = record_timeline
-        self.clocks = [RankClock() for _ in range(nranks)]
+        #: Virtual time all rank clocks start at.  Zero for fresh runs; a
+        #: checkpoint-restart attempt resumes where the failed one aborted.
+        self.base_time = base_time
+        self.clocks = [RankClock(time=base_time) for _ in range(nranks)]
         self.stats = [RankStats() for _ in range(nranks)]
         self._lock = threading.Lock()
         self._groups: list[_GroupState] = []
@@ -183,6 +206,7 @@ def run_spmd(
     timeout: float = DEFAULT_TIMEOUT,
     record_peers: bool = False,
     record_timeline: bool = False,
+    base_time: float = 0.0,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -204,6 +228,7 @@ def run_spmd(
         timeout=timeout,
         record_peers=record_peers,
         record_timeline=record_timeline,
+        base_time=base_time,
     )
     returns: list[Any] = [None] * nranks
     threads: list[threading.Thread] = []
@@ -228,5 +253,5 @@ def run_spmd(
 
     if engine._errors:
         rank, exc = engine._errors[0]
-        raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
+        raise SpmdFailure(rank, exc, engine.sim_stats()) from exc
     return SpmdResult(returns=returns, stats=engine.sim_stats())

@@ -25,7 +25,12 @@ from repro.obs.analysis import comm_comp_summary, critical_path, load_imbalance
 from repro.obs.tracer import Tracer
 
 #: Schema tag stamped into every run report (bump on breaking changes).
-REPORT_SCHEMA = "repro.obs/run-report/v1"
+#: v2 added the ``faults`` section (fault/retry/checkpoint accounting).
+REPORT_SCHEMA = "repro.obs/run-report/v2"
+
+#: Older schemas :func:`load_run_report` still accepts (the additions
+#: are backward compatible: readers treat a missing section as absent).
+_ACCEPTED_SCHEMAS = frozenset({"repro.obs/run-report/v1", REPORT_SCHEMA})
 
 #: Seconds -> Chrome trace microseconds.
 _US = 1e6
@@ -127,6 +132,7 @@ def run_report(result, tracer: Tracer | None = None) -> dict:
             "comp": result.time_comp,
         },
         "gteps": result.gteps() if timed else None,
+        "faults": meta.get("faults"),
         "comm": None,
         "phases": {},
         "levels": [],
@@ -177,10 +183,10 @@ def load_run_report(path: str | Path) -> dict:
     """Read a run report back, checking the schema tag."""
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
-    if schema != REPORT_SCHEMA:
+    if schema not in _ACCEPTED_SCHEMAS:
         raise ValueError(
             f"{path}: not a run report (schema {schema!r}, "
-            f"expected {REPORT_SCHEMA!r})"
+            f"expected one of {sorted(_ACCEPTED_SCHEMAS)})"
         )
     return report
 

@@ -6,15 +6,22 @@ behind ``repro-bench perf-diff a.json b.json --threshold 0.05``.
 
 Gating metrics (``time.total`` and ``gteps``) fail the diff when the
 candidate regresses beyond the threshold; everything else — comm/comp
-split, per-phase critical-path times, wire volumes — is reported for
-attribution but does not gate, so a net win that shifts time between
-phases doesn't trip the gate.  Simulated runs are deterministic, so a
-self-comparison is exactly zero-delta and the gate can be tight.
+split, per-phase critical-path times, wire volumes, fault/retry/restore
+accounting — is reported for attribution but does not gate, so a net
+win that shifts time between phases doesn't trip the gate.  Simulated
+runs are deterministic, so a self-comparison is exactly zero-delta and
+the gate can be tight.
+
+Fault-injected runs pay modeled recovery overhead (retry backoff,
+checkpoint traffic, replayed levels), so when the two reports have
+*different* recovery profiles the time metrics compare apples to
+oranges: the gate is downgraded to informational with a note, instead
+of failing a correctly-recovered run against a fault-free baseline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 #: Default allowed relative slowdown before the gate fails.
@@ -65,7 +72,31 @@ def _flatten_metrics(report: dict) -> dict[str, float]:
     for key in ("total_wire_words", "total_payload_words"):
         if comm.get(key) is not None:
             out[f"comm.{key}"] = float(comm[key])
+    faults = report.get("faults") or {}
+    if faults:
+        out["faults.attempts"] = float(faults.get("attempts") or 0)
+        out["faults.restores"] = float(len(faults.get("restores") or ()))
+        for key, value in (faults.get("counters") or {}).items():
+            out[f"faults.{key}"] = float(value)
     return out
+
+
+def _recovery_profile(report: dict):
+    """What the run survived: ``None`` for an effectively fault-free run.
+
+    Two reports with equal profiles are comparable wall-clock to
+    wall-clock; unequal profiles mean one run paid recovery overhead the
+    other didn't, so the time gate would be spurious.
+    """
+    faults = report.get("faults") or {}
+    counters = faults.get("counters") or {}
+    profile = (
+        int(faults.get("attempts") or 1),
+        len(faults.get("restores") or ()),
+        float(counters.get("fault_retries") or 0.0),
+        float(counters.get("fault_delays") or 0.0),
+    )
+    return None if profile == (1, 0, 0.0, 0.0) else profile
 
 
 @dataclass
@@ -76,6 +107,9 @@ class PerfDiff:
     candidate: str
     threshold: float
     deltas: list[MetricDelta]
+    #: Diagnostics about the comparison itself (e.g. the time gate being
+    #: downgraded because the runs' recovery profiles differ).
+    notes: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -115,6 +149,8 @@ class PerfDiff:
                     else "ok"
                 )
             lines.append(f"{d.name:<28} {base:>12} {cand:>12} {change:>9}  {flag}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
         if self.ok:
             lines.append("PASS: no gated metric regressed beyond the threshold")
         else:
@@ -144,6 +180,16 @@ def compare_reports(
         raise ValueError(f"threshold must be >= 0, got {threshold}")
     a = _flatten_metrics(baseline)
     b = _flatten_metrics(candidate)
+    notes: list[str] = []
+    profile_a = _recovery_profile(baseline)
+    profile_b = _recovery_profile(candidate)
+    comparable = profile_a == profile_b
+    if not comparable:
+        notes.append(
+            "recovery profiles differ (baseline "
+            f"{profile_a or 'fault-free'}, candidate {profile_b or 'fault-free'}); "
+            "time.total/gteps shown informationally, not gated"
+        )
     deltas: list[MetricDelta] = []
     ordered = list(GATED_METRICS) + list(INFO_METRICS)
     ordered += sorted(k for k in (set(a) | set(b)) if k not in ordered)
@@ -154,7 +200,7 @@ def compare_reports(
             rel = (vb - va) / abs(va)
             if name in _LOWER_IS_WORSE:
                 rel = -rel
-        gated = name in GATED_METRICS and rel is not None
+        gated = name in GATED_METRICS and rel is not None and comparable
         if va is None and vb is None:
             continue
         deltas.append(MetricDelta(name, va, vb, rel, gated))
@@ -163,6 +209,7 @@ def compare_reports(
         candidate=candidate_name,
         threshold=threshold,
         deltas=deltas,
+        notes=notes,
     )
 
 

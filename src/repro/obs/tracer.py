@@ -192,6 +192,13 @@ class Tracer:
             if rt is None:
                 rt = RankTracer(rank, comm.clock)
                 self._ranks[rank] = rt
+            elif rt._clock is not comm.clock:
+                # A new SPMD incarnation of the same run (checkpoint
+                # restart) has fresh clocks; rebind so the restarted
+                # attempt's spans continue on the same timeline, and drop
+                # any stack left by the aborted attempt.
+                rt._clock = comm.clock
+                rt._stack.clear()
             return rt
 
     @property

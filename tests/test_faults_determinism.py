@@ -1,0 +1,117 @@
+"""Differential determinism of faulted runs.
+
+Two contracts:
+
+1. Identical ``(seed, fault spec)`` ⇒ identical everything: parents,
+   ``SimStats`` down to per-rank clocks and counters, and the full span
+   stream — crash, restart, and all.  The fault subsystem draws no
+   entropy at runtime, so a recovery is as reproducible as a clean run.
+2. Arming the machinery without faults is free: a zero-fault plan with
+   retries enabled must be bit-identical to the plain run (the faulted
+   sibling of ``test_obs_overhead``'s zero-overhead contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_bfs
+from repro.obs import Tracer
+
+SOURCE = 5
+NPROCS = 4
+SPEC = (
+    "crash:rank=1,level=3;"
+    "timeout:level=2;"
+    "corrupt:rank=0,level=2;"
+    "delay:rank=2,level=1,seconds=2e-4;"
+    "seed=11"
+)
+
+
+def _stats_fingerprint(result):
+    summary = result.stats.summary()
+    summary["words_by_level"] = {
+        level: dict(kinds) for level, kinds in summary["words_by_level"].items()
+    }
+    clocks = [
+        (c.time, c.compute_time, c.mpi_time, dict(c.counters))
+        for c in result.stats.clocks
+    ]
+    return summary, clocks
+
+
+def _trace_fingerprint(tracer):
+    return [
+        [
+            (
+                span.phase,
+                span.t_start,
+                span.t_end,
+                span.level,
+                span.instant,
+                tuple(sorted(span.meta.items())),
+            )
+            for span in tracer.spans_for(rank)
+        ]
+        for rank in tracer.ranks
+    ]
+
+
+@pytest.mark.parametrize("algorithm", ["1d", "1d-dirop", "2d"])
+def test_identical_fault_runs_are_bit_identical(rmat_small, algorithm):
+    runs = []
+    for _ in range(2):
+        tracer = Tracer()
+        result = run_bfs(
+            rmat_small, SOURCE, algorithm, nprocs=NPROCS, machine="hopper",
+            faults=SPEC, checkpoint_every=1, tracer=tracer,
+        )
+        runs.append((result, tracer))
+    (a, trace_a), (b, trace_b) = runs
+    assert np.array_equal(a.parents, b.parents)
+    assert np.array_equal(a.levels, b.levels)
+    assert a.time_total == b.time_total  # ==, not approx: bit identity
+    assert _stats_fingerprint(a) == _stats_fingerprint(b)
+    assert _trace_fingerprint(trace_a) == _trace_fingerprint(trace_b)
+    assert a.meta["faults"] == b.meta["faults"]
+    # The schedule actually fired: one restart, plus absorbed transients.
+    assert a.meta["faults"]["attempts"] == 2
+    counters = a.meta["faults"]["counters"]
+    assert counters["fault_retries"] > 0
+    assert counters["restores"] == NPROCS
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_retries": 3},
+        {"faults": ""},  # empty plan, machinery armed
+        {"faults": "seed=9", "max_retries": 5},
+    ],
+    ids=["retries-only", "empty-plan", "seed-only"],
+)
+def test_zero_fault_plan_is_bit_identical_to_plain(rmat_small, kwargs):
+    plain = run_bfs(rmat_small, SOURCE, "1d", nprocs=NPROCS, machine="hopper")
+    armed = run_bfs(
+        rmat_small, SOURCE, "1d", nprocs=NPROCS, machine="hopper", **kwargs
+    )
+    assert np.array_equal(plain.parents, armed.parents)
+    assert plain.time_total == armed.time_total
+    assert _stats_fingerprint(plain) == _stats_fingerprint(armed)
+    meta = armed.meta["faults"]
+    assert meta["attempts"] == 1 and meta["restores"] == []
+    assert all(v == 0.0 for v in meta["counters"].values())
+
+
+def test_checkpointing_without_faults_changes_time_not_answers(rmat_small):
+    plain = run_bfs(rmat_small, SOURCE, "1d", nprocs=NPROCS, machine="hopper")
+    insured = run_bfs(
+        rmat_small, SOURCE, "1d", nprocs=NPROCS, machine="hopper",
+        checkpoint_every=1,
+    )
+    assert np.array_equal(plain.parents, insured.parents)
+    # Snapshots are modeled work: the run pays for its insurance.
+    assert insured.time_total > plain.time_total
+    assert insured.meta["faults"]["counters"]["checkpoints"] > 0

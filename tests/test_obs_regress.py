@@ -12,8 +12,10 @@ from repro.core import run_bfs
 from repro.obs import (
     DEFAULT_THRESHOLD,
     GATED_METRICS,
+    REPORT_SCHEMA,
     Tracer,
     compare_reports,
+    load_run_report,
     perf_diff,
     run_report,
     write_run_report,
@@ -85,6 +87,68 @@ class TestCompareReports:
         bare = {"schema": report["schema"], "time": {}, "gteps": None}
         diff = compare_reports(report, bare)
         assert diff.ok
+
+
+@pytest.fixture(scope="module")
+def recovered_report(rmat_small):
+    """Report of a run that crashed at level 3 and recovered."""
+    tracer = Tracer()
+    result = run_bfs(
+        rmat_small, 5, "1d-dirop", nprocs=4, machine="hopper", tracer=tracer,
+        faults="crash:rank=1,level=3", checkpoint_every=1,
+    )
+    return run_report(result)
+
+
+class TestFaultAccounting:
+    """Satellite of the resilience PR: recovery is visible, never gating."""
+
+    def test_schema_is_v2_with_faults_section(self, report, recovered_report):
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["faults"] is None  # fault-free run, section empty
+        faults = recovered_report["faults"]
+        assert faults["attempts"] == 2
+        assert len(faults["restores"]) == 1
+        assert faults["counters"]["restores"] == 4  # one per rank
+
+    def test_recovered_run_is_not_gated_against_fault_free(
+        self, report, recovered_report
+    ):
+        # Recovery overhead (checkpoints, lost work, replay) must not
+        # read as a perf regression: the gate downgrades with a note.
+        diff = compare_reports(report, recovered_report, threshold=0.05)
+        assert diff.ok
+        assert not any(d.gated for d in diff.deltas)
+        assert any("recovery profiles differ" in note for note in diff.notes)
+        assert "note:" in diff.render()
+
+    def test_fault_metrics_are_informational(self, report, recovered_report):
+        diff = compare_reports(report, recovered_report)
+        names = {d.name for d in diff.deltas}
+        assert "faults.restores" in names
+        assert "faults.checkpoint_words" in names
+        assert not any(
+            d.gated for d in diff.deltas if d.name.startswith("faults.")
+        )
+
+    def test_equal_recovery_profiles_gate_normally(self, recovered_report):
+        diff = compare_reports(recovered_report, recovered_report)
+        assert diff.ok and not diff.notes
+        assert {d.name for d in diff.deltas if d.gated} == set(GATED_METRICS)
+        slow = _slowed(recovered_report, 1.10)
+        assert not compare_reports(recovered_report, slow, threshold=0.05).ok
+
+    def test_v1_reports_still_load(self, report, tmp_path):
+        old = copy.deepcopy(report)
+        old["schema"] = "repro.obs/run-report/v1"
+        del old["faults"]
+        path = write_run_report(tmp_path / "v1.json", old)
+        loaded = load_run_report(path)
+        # A v1 report has no faults section: profile is fault-free and
+        # the comparison against a v2 fault-free report gates normally.
+        diff = compare_reports(loaded, report)
+        assert diff.ok and not diff.notes
+        assert any(d.gated for d in diff.deltas)
 
 
 class TestPerfDiffCli:

@@ -18,15 +18,20 @@ paper-vs-measured record of every table and figure.
 
 from repro.core import (
     ALGORITHMS,
+    AlgorithmSpec,
     BFSResult,
+    RunConfig,
+    TraversalEngine,
     bfs_1d,
     bfs_1d_dirop,
     bfs_2d,
     bfs_serial,
     count_traversed_edges,
+    run,
     run_bfs,
     validate_bfs,
 )
+from repro.graph500 import Graph500Result, run_graph500
 from repro.graphs import (
     Graph,
     erdos_renyi_edges,
@@ -47,7 +52,6 @@ from repro.model import (
     cost_2d,
     gteps,
 )
-from repro.graph500 import Graph500Result, run_graph500
 from repro.mpsim import ProcessorGrid, run_spmd
 from repro.obs import (
     Tracer,
@@ -62,12 +66,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "BFSResult",
+    "RunConfig",
+    "TraversalEngine",
     "bfs_1d",
     "bfs_1d_dirop",
     "bfs_2d",
     "bfs_serial",
     "count_traversed_edges",
+    "run",
     "run_bfs",
     "validate_bfs",
     "Graph",

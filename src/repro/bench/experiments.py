@@ -759,7 +759,7 @@ def ablation_ordering(quick: bool = False) -> Table:
     """
     import numpy as np
 
-    from repro.graphs import Graph, build_csr
+    from repro.graphs import build_csr
     from repro.graphs.ordering import edge_cut, rcm_ordering
     from repro.graphs.permutation import apply_permutation
 

@@ -21,7 +21,7 @@ from repro.comm.codecs import (
     VertexRange,
     get_codec,
 )
-from repro.comm.sieve import Sieve
+from repro.comm.sieve import Sieve, make_sieve, restore_sieve, sieve_state
 from repro.comm.varint import decode_varints, encode_varints, varint_sizes
 
 __all__ = [
@@ -39,5 +39,8 @@ __all__ = [
     "decode_varints",
     "encode_varints",
     "get_codec",
+    "make_sieve",
+    "restore_sieve",
+    "sieve_state",
     "varint_sizes",
 ]

@@ -13,16 +13,32 @@
   per-level switching between the top-down exchange and a bottom-up
   sweep against an ``Allgatherv``-assembled frontier bitmap, preserving
   the (select, max) parents via early-exiting reverse edge scans;
-* :func:`~repro.core.runner.run_bfs` — one-call driver: partitions the
-  graph, launches the SPMD simulation, reassembles and (optionally)
-  validates the result, and reports TEPS plus modeled time breakdowns.
+* :class:`~repro.core.engine.TraversalEngine` — the shared
+  level-synchronous skeleton: the algorithms above are thin
+  :class:`~repro.core.engine.AlgorithmStep` plugins
+  (:class:`~repro.core.bfs1d.TopDown1D`,
+  :class:`~repro.core.bfs_dirop.DirOpt1D`,
+  :class:`~repro.core.bfs2d.SpMSV2D`) running under it;
+* :func:`~repro.core.runner.run` / :func:`~repro.core.runner.run_bfs` —
+  one-call driver over a typed :class:`~repro.core.runner.RunConfig`
+  (``run_bfs`` is the keyword-API shim): partitions the graph, launches
+  the SPMD simulation, reassembles and (optionally) validates the
+  result, and reports TEPS plus modeled time breakdowns.
 """
 
-from repro.core.bfs1d import bfs_1d
-from repro.core.bfs2d import bfs_2d
-from repro.core.bfs_dirop import bfs_1d_dirop
+from repro.core.bfs1d import TopDown1D, bfs_1d
+from repro.core.bfs2d import SpMSV2D, bfs_2d
+from repro.core.bfs_dirop import DirOpt1D, bfs_1d_dirop
+from repro.core.engine import AlgorithmStep, LevelOutcome, TraversalEngine
 from repro.core.partition import Decomp2D, Partition1D
-from repro.core.runner import ALGORITHMS, BFSResult, run_bfs
+from repro.core.runner import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    BFSResult,
+    RunConfig,
+    run,
+    run_bfs,
+)
 from repro.core.serial import bfs_serial
 from repro.core.validate import count_traversed_edges, validate_bfs
 
@@ -30,10 +46,19 @@ __all__ = [
     "bfs_1d",
     "bfs_1d_dirop",
     "bfs_2d",
+    "TopDown1D",
+    "DirOpt1D",
+    "SpMSV2D",
+    "AlgorithmStep",
+    "LevelOutcome",
+    "TraversalEngine",
     "Decomp2D",
     "Partition1D",
     "ALGORITHMS",
+    "AlgorithmSpec",
     "BFSResult",
+    "RunConfig",
+    "run",
     "run_bfs",
     "bfs_serial",
     "count_traversed_edges",

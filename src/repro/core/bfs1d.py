@@ -12,56 +12,187 @@ Each rank owns a block of vertices and their adjacencies.  A BFS level:
 4. owners perform the visited checks and build the next local frontier;
 5. an ``Allreduce`` detects global termination.
 
-The function is an SPMD rank body: run it under
+Only the level *interior* lives here: :class:`TopDown1D` is an
+:class:`~repro.core.engine.AlgorithmStep` plugin, and the level loop,
+crash markers, checkpointing and result marshaling are the
+:class:`~repro.core.engine.TraversalEngine`'s.  :func:`bfs_1d` is the
+SPMD rank body binding the two: run it under
 :func:`repro.mpsim.run_spmd`, one call per simulated rank.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.comm import CommChannel, Sieve, VertexRange
+from repro.comm import CommChannel, Sieve
+from repro.comm import make_sieve as _make_sieve
+from repro.comm import restore_sieve as _restore_sieve
+from repro.comm import sieve_state as _sieve_state
+from repro.core.engine import LevelOutcome, TraversalEngine
+from repro.core.engine import partition_ranges as _partition_ranges
 from repro.core.frontier import dedup_candidates
 from repro.core.partition import Partition1D
-from repro.faults import (
-    RankCrashError,
-    resolve_rank_faults,
-    restore_checkpoint,
-    save_checkpoint,
-)
 from repro.graphs.csr import CSR
-from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
-from repro.obs.tracer import resolve_tracer
+
+#: Names that used to live in this module; import from their new homes.
+_MOVED = {
+    "make_sieve": "repro.comm",
+    "sieve_state": "repro.comm",
+    "restore_sieve": "repro.comm",
+    "partition_ranges": "repro.core.engine",
+}
 
 
-def partition_ranges(part: Partition1D, nranks: int) -> list[VertexRange]:
-    """Owned vertex range of every rank, as the comm layer's contexts."""
-    ranges = []
-    for rank in range(nranks):
-        lo, hi = part.range_of(rank)
-        ranges.append(VertexRange(lo, hi - lo))
-    return ranges
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.bfs1d.{name} moved to {_MOVED[name]}; "
+            "import it from there",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            "make_sieve": _make_sieve,
+            "sieve_state": _sieve_state,
+            "restore_sieve": _restore_sieve,
+            "partition_ranges": _partition_ranges,
+        }[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def make_sieve(sieve: bool | Sieve | None, nglobal: int) -> Sieve | None:
-    """Normalize a ``sieve`` argument (flag or prebuilt instance)."""
-    if isinstance(sieve, Sieve):
-        return sieve
-    return Sieve(nglobal) if sieve else None
+class TopDown1D:
+    """Algorithm 2's level interior, as an engine step plugin.
 
+    Owns the 1D partition, the candidate-exchange
+    :class:`~repro.comm.CommChannel` and the rank's traversal arrays;
+    every level runs the enumerate/dedup/pack/exchange/update phases and
+    terminates on an ``Allreduce`` of the new-frontier size.
+    """
 
-def sieve_state(sieve: Sieve | None) -> dict:
-    """The sieve's dedup epoch, as checkpoint state entries."""
-    if sieve is None:
-        return {}
-    return {"sieve_seen": sieve.seen, "sieve_dropped": sieve.dropped}
+    result_keys = ("lo", "hi")
+    charger_kwargs: dict = {}
 
+    def __init__(
+        self,
+        csr: CSR,
+        source: int,
+        dedup_sends: bool = True,
+        codec="raw",
+        sieve: bool | Sieve = False,
+    ):
+        self.csr = csr
+        self.source = source
+        self.dedup_sends = dedup_sends
+        self.codec = codec
+        self.sieve = sieve
 
-def restore_sieve(sieve: Sieve | None, snapshot: dict) -> None:
-    if sieve is not None and "sieve_seen" in snapshot:
-        sieve.seen[:] = snapshot["sieve_seen"]
-        sieve.dropped = int(snapshot["sieve_dropped"])
+    def setup(self, engine: TraversalEngine) -> None:
+        csr = self.csr
+        comm = engine.comm
+        self.comm = comm
+        self.charger = engine.charger
+        self.obs = engine.obs
+        self.threads = engine.threads
+        self.part = Partition1D(csr.n, comm.size)
+        self.lo, self.hi = self.part.range_of(comm.rank)
+        self.nloc = self.hi - self.lo
+        self.channel = CommChannel(
+            comm,
+            _partition_ranges(self.part, comm.size),
+            codec=self.codec,
+            sieve=_make_sieve(self.sieve, csr.n),
+            charger=engine.charger,
+            tracer=engine.obs,
+            faults=engine.faults,
+        )
+
+        self.levels = np.full(self.nloc, -1, dtype=np.int64)
+        self.parents = np.full(self.nloc, -1, dtype=np.int64)
+        if self.lo <= self.source < self.hi:
+            self.levels[self.source - self.lo] = 0
+            self.parents[self.source - self.lo] = self.source
+            self.frontier = np.array([self.source], dtype=np.int64)
+        else:
+            self.frontier = np.empty(0, dtype=np.int64)
+
+    def vertex_range(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def initial_sync(self) -> None:
+        # No pre-loop termination test: level 1 always runs (the source
+        # rank's frontier is never empty before it).
+        return None
+
+    def begin_level(self, level: int) -> dict:
+        return {"level": level}
+
+    def step(self, level: int) -> LevelOutcome:
+        csr, charger, obs = self.csr, self.charger, self.obs
+        lo, nloc = self.lo, self.nloc
+        frontier = self.frontier
+        # 1. Enumerate adjacencies of the local frontier (global vertex
+        #    ids; the rank owns the frontier vertices, so the global CSR
+        #    offsets are its own rows).
+        with obs.span("td-scan"):
+            targets, sources = csr.gather(frontier)
+            charger.random(frontier.size, ws_words=2 * max(nloc, 1))
+            charger.stream(
+                2.0 * targets.size, edges_scanned=float(targets.size)
+            )
+
+        # 2/3. Aggregate and bucket by owner.
+        candidates = int(targets.size)
+        if self.dedup_sends:
+            # Dedup within (rank, level): cheapest when done before the
+            # owner bucketing because R-MAT hubs generate many duplicates.
+            with obs.span("td-dedup"):
+                targets, sources = dedup_candidates(targets, sources)
+                charger.sort(candidates)
+        with obs.span("td-pack"):
+            owners = self.part.owner_of(targets)
+            send, xinfo = self.channel.pack_pairs(targets, sources, owners)
+            charger.intops(2.0 * xinfo.pairs)  # owner computation + packing
+            charger.stream(2.0 * xinfo.pairs)
+            charger.count(
+                candidates=float(candidates), unique_sends=float(xinfo.pairs)
+            )
+
+        # 3. The level's single collective (codec-encoded buffers).
+        with obs.span("td-exchange"):
+            rv, rp = self.channel.exchange_pairs(send, xinfo, level=level)
+
+        # 4. Owner-side visited checks (Algorithm 2 lines 23-26).  The
+        #    received pairs from different sources may share targets.
+        with obs.span("td-update"):
+            charger.random(float(rv.size), ws_words=max(nloc, 1))
+            unvisited = self.levels[rv - lo] < 0
+            rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+            self.levels[rv - lo] = level
+            self.parents[rv - lo] = rp
+            self.frontier = rv
+            if self.threads > 1:
+                charger.thread_merge(float(self.frontier.size))
+            charger.stream(float(self.frontier.size))
+
+        return LevelOutcome(
+            candidates=candidates,
+            words_sent=int(2 * xinfo.pairs),
+            wire_words=int(xinfo.wire_words),
+            sieve_dropped=xinfo.dropped,
+        )
+
+    def termination_sync(self) -> int:
+        return self.comm.allreduce(int(self.frontier.size))
+
+    def state(self) -> dict:
+        return _sieve_state(self.channel.sieve)
+
+    def restore(self, snapshot: dict) -> None:
+        _restore_sieve(self.channel.sieve, snapshot)
+        return None
 
 
 def bfs_1d(
@@ -121,136 +252,17 @@ def bfs_1d(
     dict with the rank's vertex range, local ``levels``/``parents`` arrays
     and the number of levels executed.
     """
-    part = Partition1D(csr.n, comm.size)
-    lo, hi = part.range_of(comm.rank)
-    nloc = hi - lo
-    charger = Charger(comm, machine=machine, threads=threads)
-    obs = resolve_tracer(tracer).for_rank(comm)
-    flt = resolve_rank_faults(faults, comm, charger.machine, obs)
-    channel = CommChannel(
-        comm,
-        partition_ranges(part, comm.size),
-        codec=codec,
-        sieve=make_sieve(sieve, csr.n),
-        charger=charger,
-        tracer=obs,
-        faults=flt,
+    step = TopDown1D(
+        csr, source, dedup_sends=dedup_sends, codec=codec, sieve=sieve
     )
-
-    levels = np.full(nloc, -1, dtype=np.int64)
-    parents = np.full(nloc, -1, dtype=np.int64)
-    if lo <= source < hi:
-        levels[source - lo] = 0
-        parents[source - lo] = source
-        frontier = np.array([source], dtype=np.int64)
-    else:
-        frontier = np.empty(0, dtype=np.int64)
-
-    level = 1
-    if resume_level is not None:
-        snap = restore_checkpoint(checkpoint, comm, charger, obs, resume_level)
-        levels[:] = snap["levels"]
-        parents[:] = snap["parents"]
-        frontier = snap["frontier"].copy()
-        restore_sieve(channel.sieve, snap)
-        level = resume_level + 1
-
-    level_trace: list[dict] = []
-    crashed = None
-    while True:
-        # Cooperative failure detection: every rank observes a scheduled
-        # crash at the same level boundary and returns a crash marker —
-        # no engine abort, so clocks, spans, and the checkpoint store
-        # stay deterministic for the recovery driver to restart from.
-        try:
-            flt.on_level_start(level)
-        except RankCrashError as crash:
-            crashed = crash
-            break
-        with obs.span("level", level=level):
-            frontier_in = int(frontier.size)
-            # 1. Enumerate adjacencies of the local frontier (global vertex
-            #    ids; the rank owns the frontier vertices, so the global CSR
-            #    offsets are its own rows).
-            with obs.span("td-scan"):
-                targets, sources = csr.gather(frontier)
-                charger.random(frontier.size, ws_words=2 * max(nloc, 1))
-                charger.stream(
-                    2.0 * targets.size, edges_scanned=float(targets.size)
-                )
-
-            # 2/3. Aggregate and bucket by owner.
-            candidates = int(targets.size)
-            if dedup_sends:
-                # Dedup within (rank, level): cheapest when done before the
-                # owner bucketing because R-MAT hubs generate many duplicates.
-                with obs.span("td-dedup"):
-                    targets, sources = dedup_candidates(targets, sources)
-                    charger.sort(candidates)
-            with obs.span("td-pack"):
-                owners = part.owner_of(targets)
-                send, xinfo = channel.pack_pairs(targets, sources, owners)
-                charger.intops(2.0 * xinfo.pairs)  # owner computation + packing
-                charger.stream(2.0 * xinfo.pairs)
-                charger.count(
-                    candidates=float(candidates), unique_sends=float(xinfo.pairs)
-                )
-
-            # 3. The level's single collective (codec-encoded buffers).
-            with obs.span("td-exchange"):
-                rv, rp = channel.exchange_pairs(send, xinfo, level=level)
-
-            # 4. Owner-side visited checks (Algorithm 2 lines 23-26).  The
-            #    received pairs from different sources may share targets.
-            with obs.span("td-update"):
-                charger.random(float(rv.size), ws_words=max(nloc, 1))
-                unvisited = levels[rv - lo] < 0
-                rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
-                levels[rv - lo] = level
-                parents[rv - lo] = rp
-                frontier = rv
-                if threads > 1:
-                    charger.thread_merge(float(frontier.size))
-                charger.stream(float(frontier.size))
-
-            if trace:
-                level_trace.append(
-                    {
-                        "level": level,
-                        "frontier": frontier_in,
-                        "candidates": candidates,
-                        "words_sent": int(2 * xinfo.pairs),
-                        "wire_words": int(xinfo.wire_words),
-                        "sieve_dropped": xinfo.dropped,
-                        "discovered": int(frontier.size),
-                    }
-                )
-
-            # 5. Global termination test.
-            with obs.span("sync"):
-                charger.level_overhead()
-                with obs.span("allreduce"):
-                    total_new = comm.allreduce(int(frontier.size))
-
-            # The termination Allreduce just made level complete on every
-            # rank — the globally-consistent point a snapshot must cover.
-            if checkpoint is not None and total_new > 0 and checkpoint.due(level):
-                state = {"levels": levels, "parents": parents, "frontier": frontier}
-                state.update(sieve_state(channel.sieve))
-                save_checkpoint(checkpoint, comm, charger, obs, level, state)
-        if total_new == 0:
-            break
-        level += 1
-
-    result = {
-        "lo": lo,
-        "hi": hi,
-        "levels": levels,
-        "parents": parents,
-        "nlevels": level,
-    }
-    if crashed is not None:
-        result["crashed"] = crashed
-    if trace:
-        result["trace"] = level_trace
-    return result
+    return TraversalEngine(
+        comm,
+        step,
+        machine=machine,
+        threads=threads,
+        trace=trace,
+        tracer=tracer,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume_level=resume_level,
+    ).run()

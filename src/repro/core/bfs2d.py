@@ -18,6 +18,12 @@ grid:
 Vertex ownership follows the "2D vector distribution" (every rank owns an
 equal slice; Section 3.2) by default; ``Decomp2D(diagonal_vectors=True)``
 reproduces the load-imbalanced diagonal-only distribution of Figure 4.
+
+Only the level *interior* lives here: :class:`SpMSV2D` is an
+:class:`~repro.core.engine.AlgorithmStep` plugin, and the level loop,
+crash markers, checkpointing and result marshaling are the
+:class:`~repro.core.engine.TraversalEngine`'s.  :func:`bfs_2d` is the
+SPMD rank body binding the two.
 """
 
 from __future__ import annotations
@@ -26,21 +32,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.comm import CommChannel, VertexRange
-from repro.core.bfs1d import make_sieve, restore_sieve, sieve_state
+from repro.comm import (
+    CommChannel,
+    VertexRange,
+    make_sieve,
+    restore_sieve,
+    sieve_state,
+)
+from repro.core.engine import LevelOutcome, TraversalEngine
 from repro.core.frontier import dedup_candidates
 from repro.core.partition import Decomp2D
-from repro.faults import (
-    RankCrashError,
-    resolve_rank_faults,
-    restore_checkpoint,
-    save_checkpoint,
-)
 from repro.graphs.csr import CSR
-from repro.model.costmodel import Charger
 from repro.mpsim.communicator import Communicator
 from repro.mpsim.grid import ProcessorGrid
-from repro.obs.tracer import resolve_tracer
 from repro.sparse.dcsc import DCSC
 from repro.sparse.spa import SPA
 from repro.sparse.spmsv import spmsv
@@ -98,6 +102,229 @@ def build_2d_blocks(csr: CSR, decomp: Decomp2D, threads: int = 1) -> list[LocalB
     return blocks
 
 
+class SpMSV2D:
+    """Algorithm 3's level interior, as an engine step plugin.
+
+    Owns the processor grid, the row/column wire channels (sharing one
+    sieve — a vertex observed discovered through the expand never needs
+    folding again), the rank's vector piece, and the per-thread SPA
+    accumulators; every level runs the transpose/expand/SpMSV/fold/update
+    phases and terminates on an ``Allreduce`` of the new-frontier size.
+    """
+
+    result_keys = ("plo", "phi")
+    # Row-split DCSC pieces are embarrassingly thread-parallel (Figure 2).
+    charger_kwargs: dict = {"thread_efficiency": 0.75}
+
+    def __init__(
+        self,
+        blocks: list[LocalBlock],
+        decomp: Decomp2D,
+        source: int,
+        kernel: str = "auto",
+        modeled_cores: int | None = None,
+        codec="raw",
+        sieve=False,
+    ):
+        self.blocks = blocks
+        self.decomp = decomp
+        self.source = source
+        self.kernel = kernel
+        self.modeled_cores = modeled_cores
+        self.codec = codec
+        self.sieve = sieve
+
+    def setup(self, engine: TraversalEngine) -> None:
+        decomp = self.decomp
+        comm = engine.comm
+        self.comm = comm
+        self.charger = engine.charger
+        self.obs = engine.obs
+        self.threads = engine.threads
+        grid = ProcessorGrid(comm, decomp.pr, decomp.pc)
+        self.grid = grid
+        self.local = self.blocks[comm.rank]
+        if self.modeled_cores is None:
+            self.modeled_cores = comm.size * engine.threads
+
+        self.row_lo, _row_hi = decomp.row_block(grid.row)
+        self.col_lo, self.col_hi = decomp.col_block(grid.col)
+        self.plo, self.phi = decomp.vec_piece(grid.row, grid.col)
+        self.nloc = self.phi - self.plo
+
+        # Wire layer: the fold's buffers index into the destination's
+        # vector piece along my processor row; every expand contribution
+        # lies inside my grid column's block (contributions are disjoint,
+        # so per-piece decode + concat is exact).  Both channels share one
+        # sieve — a vertex observed discovered through the expand never
+        # needs folding again.
+        self.shared_sieve = make_sieve(self.sieve, decomp.n)
+        row_ranges = [
+            VertexRange(vlo, vhi - vlo)
+            for vlo, vhi in (
+                decomp.vec_piece(grid.row, j) for j in range(decomp.pc)
+            )
+        ]
+        self.row_channel = CommChannel(
+            grid.row_comm, row_ranges, codec=self.codec, sieve=self.shared_sieve,
+            charger=engine.charger, tracer=engine.obs, faults=engine.faults,
+        )
+        col_ranges = [
+            VertexRange(self.col_lo, self.col_hi - self.col_lo)
+        ] * grid.col_comm.size
+        self.col_channel = CommChannel(
+            grid.col_comm, col_ranges, codec=self.codec, sieve=self.shared_sieve,
+            charger=engine.charger, tracer=engine.obs, faults=engine.faults,
+        )
+
+        self.levels = np.full(self.nloc, -1, dtype=np.int64)
+        self.parents = np.full(self.nloc, -1, dtype=np.int64)
+        self.spas = (
+            [SPA(piece.nrows) for piece in self.local.pieces]
+            if self.kernel != "heap"
+            else None
+        )
+
+        if self.plo <= self.source < self.phi:
+            self.levels[self.source - self.plo] = 0
+            self.parents[self.source - self.plo] = self.source
+            self.frontier = np.array([self.source], dtype=np.int64)
+        else:
+            self.frontier = np.empty(0, dtype=np.int64)
+
+    def vertex_range(self) -> tuple[int, int]:
+        return (self.plo, self.phi)
+
+    def initial_sync(self) -> int:
+        self.total = self.comm.allreduce(int(self.frontier.size))
+        return self.total
+
+    def begin_level(self, level: int) -> dict:
+        return {"level": level}
+
+    def step(self, level: int) -> LevelOutcome:
+        decomp, grid = self.decomp, self.grid
+        charger, obs = self.charger, self.obs
+        frontier = self.frontier
+        # 1. TransposeVector: line the frontier up with processor
+        #    columns.  On a square grid this is the paper's pairwise
+        #    P(i,j)<->P(j,i) swap; on a rectangular grid it is the
+        #    general all-to-all (Section 3.2): each element is routed
+        #    along my processor row to the grid column owning its
+        #    column block, and step 2's gather unions the rows'
+        #    contributions.
+        with obs.span("transpose", level=level):
+            if decomp.is_square:
+                transposed = grid.transpose_vector(frontier)
+            else:
+                dest_cols = decomp.col_block_of(frontier)
+                order = np.argsort(dest_cols, kind="stable")
+                routed = frontier[order]
+                counts = np.bincount(dest_cols, minlength=decomp.pc)
+                offs = np.concatenate([[0], np.cumsum(counts)])
+                transposed, _cnt = grid.row_comm.alltoallv_concat(
+                    [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
+                )
+
+        # 2. Expand: column j assembles the full frontier of column
+        #    block j — the column support of every matrix block in
+        #    this grid column.  (On square grids the pieces happen to
+        #    concatenate in ascending vertex order; nothing downstream
+        #    relies on it.)
+        with obs.span("expand"):
+            f_col, expand_info = self.col_channel.allgatherv_vertices(
+                transposed, level=level
+            )
+            charger.stream(float(f_col.size))
+
+        # 3. Local SpMSV per thread piece; payload = the frontier
+        #    vertex id itself, which becomes the parent of the
+        #    discovered row.
+        with obs.span("spmsv"):
+            cand_rows = []
+            cand_parents = []
+            for t, piece in enumerate(self.local.pieces):
+                idx, val, work = spmsv(
+                    piece,
+                    f_col - self.col_lo,
+                    f_col,
+                    kernel=self.kernel,
+                    modeled_cores=self.modeled_cores,
+                    spa=self.spas[t] if self.spas is not None else None,
+                    tracer=obs,
+                )
+                charger.random(
+                    float(work.lookups), ws_words=2.0 * max(piece.nzc, 1)
+                )
+                if work.kernel == "spa":
+                    # Flag probe + value scatter + index append per
+                    # candidate, plus the per-level dense-accumulator
+                    # touch.
+                    charger.random(
+                        2.5 * work.candidates,
+                        ws_words=float(max(piece.nrows, 1)),
+                        candidates=float(work.candidates),
+                    )
+                    charger.stream(1.2 * piece.nrows)
+                else:
+                    charger.intops(
+                        20.0 * work.heap_comparisons,
+                        candidates=float(work.candidates),
+                    )
+                    charger.stream(float(work.candidates))
+                cand_rows.append(idx + self.row_lo + self.local.band_offsets[t])
+                cand_parents.append(val)
+            trows = (
+                np.concatenate(cand_rows) if cand_rows else np.empty(0, np.int64)
+            )
+            tvals = (
+                np.concatenate(cand_parents)
+                if cand_parents
+                else np.empty(0, np.int64)
+            )
+            charger.count(edges_scanned=float(f_col.size))
+
+        # 4. Fold: scatter candidates to vector-piece owners along the
+        #    row.
+        with obs.span("fold-pack"):
+            owners = decomp.vec_owner_col(grid.row, trows)
+            send, xinfo = self.row_channel.pack_pairs(trows, tvals, owners)
+            charger.intops(float(xinfo.pairs))
+            charger.count(unique_sends=float(xinfo.pairs))
+        with obs.span("fold-exchange"):
+            rv, rp = self.row_channel.exchange_pairs(send, xinfo, level=level)
+
+        # 5. Mask with pi-bar and update (Algorithm 3 lines 9-11).
+        with obs.span("update"):
+            charger.random(float(rv.size), ws_words=float(max(self.nloc, 1)))
+            unvisited = self.parents[rv - self.plo] == -1
+            rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+            self.parents[rv - self.plo] = rp
+            self.levels[rv - self.plo] = level
+            self.frontier = rv
+            if self.threads > 1:
+                charger.thread_merge(float(self.frontier.size))
+
+        return LevelOutcome(
+            candidates=int(trows.size),
+            words_sent=int(2 * xinfo.pairs + f_col.size),
+            wire_words=int(xinfo.wire_words + expand_info.wire_words),
+            sieve_dropped=xinfo.dropped,
+        )
+
+    def termination_sync(self) -> int:
+        self.total = self.comm.allreduce(int(self.frontier.size))
+        return self.total
+
+    def state(self) -> dict:
+        return {"total": self.total, **sieve_state(self.shared_sieve)}
+
+    def restore(self, snapshot: dict) -> int:
+        restore_sieve(self.shared_sieve, snapshot)
+        self.total = int(snapshot["total"])
+        return self.total
+
+
 def bfs_2d(
     comm: Communicator,
     blocks: list[LocalBlock],
@@ -132,213 +359,23 @@ def bfs_2d(
     fault view is shared by the row and column channels, so a transient
     scheduled on either collective site fires exactly once.
     """
-    grid = ProcessorGrid(comm, decomp.pr, decomp.pc)
-    # Row-split DCSC pieces are embarrassingly thread-parallel (Figure 2).
-    charger = Charger(comm, machine=machine, threads=threads, thread_efficiency=0.75)
-    obs = resolve_tracer(tracer).for_rank(comm)
-    local = blocks[comm.rank]
-    if modeled_cores is None:
-        modeled_cores = comm.size * threads
-
-    row_lo, _row_hi = decomp.row_block(grid.row)
-    col_lo, col_hi = decomp.col_block(grid.col)
-    plo, phi = decomp.vec_piece(grid.row, grid.col)
-    nloc = phi - plo
-
-    # Wire layer: the fold's buffers index into the destination's vector
-    # piece along my processor row; every expand contribution lies inside
-    # my grid column's block (contributions are disjoint, so per-piece
-    # decode + concat is exact).  Both channels share one sieve — a vertex
-    # observed discovered through the expand never needs folding again.
-    shared_sieve = make_sieve(sieve, decomp.n)
-    flt = resolve_rank_faults(faults, comm, charger.machine, obs)
-    row_ranges = [
-        VertexRange(vlo, vhi - vlo)
-        for vlo, vhi in (decomp.vec_piece(grid.row, j) for j in range(decomp.pc))
-    ]
-    row_channel = CommChannel(
-        grid.row_comm, row_ranges, codec=codec, sieve=shared_sieve,
-        charger=charger, tracer=obs, faults=flt,
+    step = SpMSV2D(
+        blocks,
+        decomp,
+        source,
+        kernel=kernel,
+        modeled_cores=modeled_cores,
+        codec=codec,
+        sieve=sieve,
     )
-    col_ranges = [VertexRange(col_lo, col_hi - col_lo)] * grid.col_comm.size
-    col_channel = CommChannel(
-        grid.col_comm, col_ranges, codec=codec, sieve=shared_sieve,
-        charger=charger, tracer=obs, faults=flt,
-    )
-
-    levels = np.full(nloc, -1, dtype=np.int64)
-    parents = np.full(nloc, -1, dtype=np.int64)
-    spas = [SPA(piece.nrows) for piece in local.pieces] if kernel != "heap" else None
-
-    if plo <= source < phi:
-        levels[source - plo] = 0
-        parents[source - plo] = source
-        frontier = np.array([source], dtype=np.int64)
-    else:
-        frontier = np.empty(0, dtype=np.int64)
-
-    level = 1
-    if resume_level is not None:
-        snap = restore_checkpoint(checkpoint, comm, charger, obs, resume_level)
-        levels[:] = snap["levels"]
-        parents[:] = snap["parents"]
-        frontier = snap["frontier"].copy()
-        restore_sieve(shared_sieve, snap)
-        total = int(snap["total"])
-        level = resume_level + 1
-    else:
-        total = comm.allreduce(int(frontier.size))
-
-    level_trace: list[dict] = []
-    crashed = None
-    while total > 0:
-        # Cooperative failure detection at the level boundary (see
-        # repro.core.bfs1d): all ranks observe the crash, none abort.
-        try:
-            flt.on_level_start(level)
-        except RankCrashError as crash:
-            crashed = crash
-            break
-        frontier_in = int(frontier.size)
-        with obs.span("level", level=level):
-            # 1. TransposeVector: line the frontier up with processor
-            #    columns.  On a square grid this is the paper's pairwise
-            #    P(i,j)<->P(j,i) swap; on a rectangular grid it is the
-            #    general all-to-all (Section 3.2): each element is routed
-            #    along my processor row to the grid column owning its
-            #    column block, and step 2's gather unions the rows'
-            #    contributions.
-            with obs.span("transpose", level=level):
-                if decomp.is_square:
-                    transposed = grid.transpose_vector(frontier)
-                else:
-                    dest_cols = decomp.col_block_of(frontier)
-                    order = np.argsort(dest_cols, kind="stable")
-                    routed = frontier[order]
-                    counts = np.bincount(dest_cols, minlength=decomp.pc)
-                    offs = np.concatenate([[0], np.cumsum(counts)])
-                    transposed, _cnt = grid.row_comm.alltoallv_concat(
-                        [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
-                    )
-
-            # 2. Expand: column j assembles the full frontier of column
-            #    block j — the column support of every matrix block in
-            #    this grid column.  (On square grids the pieces happen to
-            #    concatenate in ascending vertex order; nothing downstream
-            #    relies on it.)
-            with obs.span("expand"):
-                f_col, expand_info = col_channel.allgatherv_vertices(
-                    transposed, level=level
-                )
-                charger.stream(float(f_col.size))
-
-            # 3. Local SpMSV per thread piece; payload = the frontier
-            #    vertex id itself, which becomes the parent of the
-            #    discovered row.
-            with obs.span("spmsv"):
-                cand_rows = []
-                cand_parents = []
-                for t, piece in enumerate(local.pieces):
-                    idx, val, work = spmsv(
-                        piece,
-                        f_col - col_lo,
-                        f_col,
-                        kernel=kernel,
-                        modeled_cores=modeled_cores,
-                        spa=spas[t] if spas is not None else None,
-                        tracer=obs,
-                    )
-                    charger.random(
-                        float(work.lookups), ws_words=2.0 * max(piece.nzc, 1)
-                    )
-                    if work.kernel == "spa":
-                        # Flag probe + value scatter + index append per
-                        # candidate, plus the per-level dense-accumulator
-                        # touch.
-                        charger.random(
-                            2.5 * work.candidates,
-                            ws_words=float(max(piece.nrows, 1)),
-                            candidates=float(work.candidates),
-                        )
-                        charger.stream(1.2 * piece.nrows)
-                    else:
-                        charger.intops(
-                            20.0 * work.heap_comparisons,
-                            candidates=float(work.candidates),
-                        )
-                        charger.stream(float(work.candidates))
-                    cand_rows.append(idx + row_lo + local.band_offsets[t])
-                    cand_parents.append(val)
-                trows = (
-                    np.concatenate(cand_rows) if cand_rows else np.empty(0, np.int64)
-                )
-                tvals = (
-                    np.concatenate(cand_parents)
-                    if cand_parents
-                    else np.empty(0, np.int64)
-                )
-                charger.count(edges_scanned=float(f_col.size))
-
-            # 4. Fold: scatter candidates to vector-piece owners along the
-            #    row.
-            with obs.span("fold-pack"):
-                owners = decomp.vec_owner_col(grid.row, trows)
-                send, xinfo = row_channel.pack_pairs(trows, tvals, owners)
-                charger.intops(float(xinfo.pairs))
-                charger.count(unique_sends=float(xinfo.pairs))
-            with obs.span("fold-exchange"):
-                rv, rp = row_channel.exchange_pairs(send, xinfo, level=level)
-
-            # 5. Mask with pi-bar and update (Algorithm 3 lines 9-11).
-            with obs.span("update"):
-                charger.random(float(rv.size), ws_words=float(max(nloc, 1)))
-                unvisited = parents[rv - plo] == -1
-                rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
-                parents[rv - plo] = rp
-                levels[rv - plo] = level
-                frontier = rv
-                if threads > 1:
-                    charger.thread_merge(float(frontier.size))
-
-            if trace:
-                level_trace.append(
-                    {
-                        "level": level,
-                        "frontier": frontier_in,
-                        "candidates": int(trows.size),
-                        "words_sent": int(2 * xinfo.pairs + f_col.size),
-                        "wire_words": int(xinfo.wire_words + expand_info.wire_words),
-                        "sieve_dropped": xinfo.dropped,
-                        "discovered": int(frontier.size),
-                    }
-                )
-            with obs.span("sync"):
-                charger.level_overhead()
-                with obs.span("allreduce"):
-                    total = comm.allreduce(int(frontier.size))
-
-            # The termination Allreduce just made the level globally
-            # complete on every rank; snapshot the vector-piece state.
-            if checkpoint is not None and total > 0 and checkpoint.due(level):
-                state = {
-                    "levels": levels,
-                    "parents": parents,
-                    "frontier": frontier,
-                    "total": total,
-                }
-                state.update(sieve_state(shared_sieve))
-                save_checkpoint(checkpoint, comm, charger, obs, level, state)
-        level += 1
-
-    result = {
-        "plo": plo,
-        "phi": phi,
-        "levels": levels,
-        "parents": parents,
-        "nlevels": level - 1,
-    }
-    if crashed is not None:
-        result["crashed"] = crashed
-    if trace:
-        result["trace"] = level_trace
-    return result
+    return TraversalEngine(
+        comm,
+        step,
+        machine=machine,
+        threads=threads,
+        trace=trace,
+        tracer=tracer,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume_level=resume_level,
+    ).run()

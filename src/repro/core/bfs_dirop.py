@@ -25,20 +25,24 @@ count, and the unexplored-edge count, then apply the shared
 Directed graphs (no symmetry) disable the bottom-up sweep, since
 scanning out-adjacencies cannot discover in-neighbours.
 
-The function is an SPMD rank body: run it under
-:func:`repro.mpsim.run_spmd`, one call per simulated rank.
+Only the level *interior* lives here: :class:`DirOpt1D` is an
+:class:`~repro.core.engine.AlgorithmStep` plugin whose
+:meth:`~DirOpt1D.begin_level` flips the traversal direction and whose
+checkpoint :meth:`~DirOpt1D.state` carries the switch hysteresis; the
+level loop itself is the :class:`~repro.core.engine.TraversalEngine`'s.
+:func:`bfs_1d_dirop` is the SPMD rank body binding the two: run it
+under :func:`repro.mpsim.run_spmd`, one call per simulated rank.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.comm import CommChannel
-from repro.core.bfs1d import (
-    make_sieve,
+from repro.comm import CommChannel, make_sieve, restore_sieve, sieve_state
+from repro.core.engine import (
+    LevelOutcome,
+    TraversalEngine,
     partition_ranges,
-    restore_sieve,
-    sieve_state,
 )
 from repro.core.frontier import (
     bitmap_words,
@@ -47,16 +51,9 @@ from repro.core.frontier import (
     should_switch_top_down,
 )
 from repro.core.partition import Partition1D
-from repro.faults import (
-    RankCrashError,
-    resolve_rank_faults,
-    restore_checkpoint,
-    save_checkpoint,
-)
 from repro.graphs.csr import CSR
-from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, Charger
+from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA
 from repro.mpsim.communicator import Communicator
-from repro.obs.tracer import resolve_tracer
 
 TOP_DOWN = "top-down"
 BOTTOM_UP = "bottom-up"
@@ -162,6 +159,158 @@ def _bottomup_level(
     }
 
 
+class DirOpt1D:
+    """The direction-optimizing level interior, as an engine step plugin.
+
+    Top-down levels run Algorithm 2's phases; bottom-up levels run the
+    bitmap expand + reverse-scan fold.  The direction flip happens in
+    :meth:`begin_level` from collective state only, the termination
+    ``Allreduce`` carries the three frontier-density statistics the
+    predicates need, and checkpoints add the switch-hysteresis state so
+    a restarted attempt resumes with the same decisions.
+    """
+
+    result_keys = ("lo", "hi")
+    charger_kwargs: dict = {}
+
+    def __init__(
+        self,
+        csr: CSR,
+        source: int,
+        dedup_sends: bool = True,
+        codec="raw",
+        sieve=False,
+        alpha: float | None = None,
+        beta: float | None = None,
+        symmetric: bool = True,
+    ):
+        self.csr = csr
+        self.source = source
+        self.dedup_sends = dedup_sends
+        self.codec = codec
+        self.sieve = sieve
+        self.alpha = DIROP_ALPHA if alpha is None else alpha
+        self.beta = DIROP_BETA if beta is None else beta
+        self.symmetric = symmetric
+
+    def setup(self, engine: TraversalEngine) -> None:
+        csr = self.csr
+        comm = engine.comm
+        self.comm = comm
+        self.charger = engine.charger
+        self.obs = engine.obs
+        self.threads = engine.threads
+        self.part = Partition1D(csr.n, comm.size)
+        self.lo, self.hi = self.part.range_of(comm.rank)
+        self.nloc = self.hi - self.lo
+        self.channel = CommChannel(
+            comm,
+            partition_ranges(self.part, comm.size),
+            codec=self.codec,
+            sieve=make_sieve(self.sieve, csr.n),
+            charger=engine.charger,
+            tracer=engine.obs,
+            faults=engine.faults,
+        )
+        self.degrees = csr.indptr[self.lo + 1 : self.hi + 1] - csr.indptr[self.lo : self.hi]
+
+        self.levels = np.full(self.nloc, -1, dtype=np.int64)
+        self.parents = np.full(self.nloc, -1, dtype=np.int64)
+        self.unexplored_edges = int(self.degrees.sum())
+        if self.lo <= self.source < self.hi:
+            self.levels[self.source - self.lo] = 0
+            self.parents[self.source - self.lo] = self.source
+            self.frontier = np.array([self.source], dtype=np.int64)
+            self.unexplored_edges -= int(self.degrees[self.source - self.lo])
+        else:
+            self.frontier = np.empty(0, dtype=np.int64)
+        self.direction = TOP_DOWN
+
+    def vertex_range(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def _frontier_stats(self, front: np.ndarray) -> np.ndarray:
+        fedges = int(self.degrees[front - self.lo].sum()) if front.size else 0
+        return np.array(
+            [front.size, fedges, self.unexplored_edges], dtype=np.int64
+        )
+
+    def _sync_stats(self) -> None:
+        self.g_front, self.g_fedges, self.g_unexplored = (
+            int(x)
+            for x in self.comm.allreduce(self._frontier_stats(self.frontier))
+        )
+
+    def initial_sync(self) -> None:
+        # The pre-loop stats Allreduce seeds the first switch decision;
+        # level 1 itself always runs (the source frontier is nonempty
+        # somewhere), so no termination count is returned.
+        self._sync_stats()
+        return None
+
+    def begin_level(self, level: int) -> dict:
+        # Direction choice: collective state only, so every rank flips in
+        # lockstep without extra communication.
+        if self.symmetric:
+            if self.direction == TOP_DOWN and should_switch_bottom_up(
+                self.g_fedges, self.g_unexplored, self.alpha
+            ):
+                self.direction = BOTTOM_UP
+            elif self.direction == BOTTOM_UP and should_switch_top_down(
+                self.g_front, self.csr.n, self.beta
+            ):
+                self.direction = TOP_DOWN
+        return {"level": level, "direction": self.direction}
+
+    def step(self, level: int) -> LevelOutcome:
+        if self.direction == TOP_DOWN:
+            frontier, info = _topdown_level(
+                self.comm, self.csr, self.part, self.channel, self.charger,
+                self.obs, self.levels, self.parents, self.frontier, self.lo,
+                self.nloc, level, self.dedup_sends, self.threads,
+            )
+        else:
+            frontier, info = _bottomup_level(
+                self.comm, self.csr, self.part, self.channel, self.charger,
+                self.obs, self.levels, self.parents, self.frontier, self.lo,
+                self.nloc, level, self.threads,
+            )
+        self.frontier = frontier
+        self.unexplored_edges -= (
+            int(self.degrees[frontier - self.lo].sum()) if frontier.size else 0
+        )
+        return LevelOutcome(
+            candidates=info["candidates"],
+            words_sent=info["words_sent"],
+            wire_words=info["wire_words"],
+            sieve_dropped=info["sieve_dropped"],
+            extra={"direction": self.direction},
+        )
+
+    def termination_sync(self) -> int:
+        self._sync_stats()
+        return self.g_front
+
+    def state(self) -> dict:
+        return {
+            "direction": self.direction,
+            "unexplored_edges": self.unexplored_edges,
+            "g_front": self.g_front,
+            "g_fedges": self.g_fedges,
+            "g_unexplored": self.g_unexplored,
+            **sieve_state(self.channel.sieve),
+        }
+
+    def restore(self, snapshot: dict) -> int:
+        restore_sieve(self.channel.sieve, snapshot)
+        self.direction = snapshot["direction"]
+        self.unexplored_edges = int(snapshot["unexplored_edges"])
+        self.g_front = int(snapshot["g_front"])
+        self.g_fedges = int(snapshot["g_fedges"])
+        self.g_unexplored = int(snapshot["g_unexplored"])
+        return self.g_front
+
+
 def bfs_1d_dirop(
     comm: Communicator,
     csr: CSR,
@@ -221,148 +370,24 @@ def bfs_1d_dirop(
     dict with the rank's vertex range, local ``levels``/``parents`` arrays
     and the number of levels executed.
     """
-    alpha = DIROP_ALPHA if alpha is None else alpha
-    beta = DIROP_BETA if beta is None else beta
-    part = Partition1D(csr.n, comm.size)
-    lo, hi = part.range_of(comm.rank)
-    nloc = hi - lo
-    charger = Charger(comm, machine=machine, threads=threads)
-    obs = resolve_tracer(tracer).for_rank(comm)
-    flt = resolve_rank_faults(faults, comm, charger.machine, obs)
-    channel = CommChannel(
-        comm,
-        partition_ranges(part, comm.size),
+    step = DirOpt1D(
+        csr,
+        source,
+        dedup_sends=dedup_sends,
         codec=codec,
-        sieve=make_sieve(sieve, csr.n),
-        charger=charger,
-        tracer=obs,
-        faults=flt,
+        sieve=sieve,
+        alpha=alpha,
+        beta=beta,
+        symmetric=symmetric,
     )
-    degrees = csr.indptr[lo + 1 : hi + 1] - csr.indptr[lo:hi]
-
-    levels = np.full(nloc, -1, dtype=np.int64)
-    parents = np.full(nloc, -1, dtype=np.int64)
-    unexplored_edges = int(degrees.sum())
-    if lo <= source < hi:
-        levels[source - lo] = 0
-        parents[source - lo] = source
-        frontier = np.array([source], dtype=np.int64)
-        unexplored_edges -= int(degrees[source - lo])
-    else:
-        frontier = np.empty(0, dtype=np.int64)
-
-    def frontier_stats(front: np.ndarray) -> np.ndarray:
-        fedges = int(degrees[front - lo].sum()) if front.size else 0
-        return np.array(
-            [front.size, fedges, unexplored_edges], dtype=np.int64
-        )
-
-    level = 1
-    direction = TOP_DOWN
-    if resume_level is not None:
-        snap = restore_checkpoint(checkpoint, comm, charger, obs, resume_level)
-        levels[:] = snap["levels"]
-        parents[:] = snap["parents"]
-        frontier = snap["frontier"].copy()
-        restore_sieve(channel.sieve, snap)
-        direction = snap["direction"]
-        unexplored_edges = int(snap["unexplored_edges"])
-        g_front = int(snap["g_front"])
-        g_fedges = int(snap["g_fedges"])
-        g_unexplored = int(snap["g_unexplored"])
-        level = resume_level + 1
-    else:
-        g_front, g_fedges, g_unexplored = (
-            int(x) for x in comm.allreduce(frontier_stats(frontier))
-        )
-
-    level_trace: list[dict] = []
-    crashed = None
-    while True:
-        # Cooperative failure detection at the level boundary (see
-        # repro.core.bfs1d): all ranks observe the crash, none abort.
-        try:
-            flt.on_level_start(level)
-        except RankCrashError as crash:
-            crashed = crash
-            break
-        # Direction choice: collective state only, so every rank flips in
-        # lockstep without extra communication.
-        if symmetric:
-            if direction == TOP_DOWN and should_switch_bottom_up(
-                g_fedges, g_unexplored, alpha
-            ):
-                direction = BOTTOM_UP
-            elif direction == BOTTOM_UP and should_switch_top_down(
-                g_front, csr.n, beta
-            ):
-                direction = TOP_DOWN
-
-        frontier_in = int(frontier.size)
-        with obs.span("level", level=level, direction=direction):
-            if direction == TOP_DOWN:
-                frontier, info = _topdown_level(
-                    comm, csr, part, channel, charger, obs, levels, parents,
-                    frontier, lo, nloc, level, dedup_sends, threads,
-                )
-            else:
-                frontier, info = _bottomup_level(
-                    comm, csr, part, channel, charger, obs, levels, parents,
-                    frontier, lo, nloc, level, threads,
-                )
-            unexplored_edges -= (
-                int(degrees[frontier - lo].sum()) if frontier.size else 0
-            )
-
-            if trace:
-                level_trace.append(
-                    {
-                        "level": level,
-                        "frontier": frontier_in,
-                        "candidates": info["candidates"],
-                        "words_sent": info["words_sent"],
-                        "wire_words": info["wire_words"],
-                        "sieve_dropped": info["sieve_dropped"],
-                        "discovered": int(frontier.size),
-                        "direction": direction,
-                    }
-                )
-
-            with obs.span("sync"):
-                charger.level_overhead()
-                with obs.span("allreduce"):
-                    g_front, g_fedges, g_unexplored = (
-                        int(x) for x in comm.allreduce(frontier_stats(frontier))
-                    )
-
-            # The stats Allreduce just made the level globally complete;
-            # snapshot the traversal plus the switch-hysteresis state.
-            if checkpoint is not None and g_front > 0 and checkpoint.due(level):
-                state = {
-                    "levels": levels,
-                    "parents": parents,
-                    "frontier": frontier,
-                    "direction": direction,
-                    "unexplored_edges": unexplored_edges,
-                    "g_front": g_front,
-                    "g_fedges": g_fedges,
-                    "g_unexplored": g_unexplored,
-                }
-                state.update(sieve_state(channel.sieve))
-                save_checkpoint(checkpoint, comm, charger, obs, level, state)
-        if g_front == 0:
-            break
-        level += 1
-
-    result = {
-        "lo": lo,
-        "hi": hi,
-        "levels": levels,
-        "parents": parents,
-        "nlevels": level,
-    }
-    if crashed is not None:
-        result["crashed"] = crashed
-    if trace:
-        result["trace"] = level_trace
-    return result
+    return TraversalEngine(
+        comm,
+        step,
+        machine=machine,
+        threads=threads,
+        trace=trace,
+        tracer=tracer,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume_level=resume_level,
+    ).run()

@@ -1,11 +1,16 @@
 """High-level BFS driver: partition, simulate, reassemble, report.
 
-:func:`run_bfs` is the public entry point tying the substrates together:
-it resolves the algorithm (serial / 1D / 2D / hybrids / baselines),
-launches the SPMD simulation with the requested machine cost model,
-stitches the per-rank outputs back into full ``levels``/``parents`` arrays
-in the caller's vertex labels, and wraps everything in a
-:class:`BFSResult` with TEPS accounting and the modeled time breakdown.
+:func:`run` is the typed entry point: it takes a :class:`RunConfig`
+(the run's full cross-cutting configuration, validated in one place),
+looks the algorithm up in the declarative :data:`ALGORITHMS` registry
+(name -> :class:`AlgorithmSpec`: step-plugin class + capabilities),
+launches the SPMD simulation of the
+:class:`~repro.core.engine.TraversalEngine` with the requested machine
+cost model, stitches the per-rank outputs back into full
+``levels``/``parents`` arrays in the caller's vertex labels, and wraps
+everything in a :class:`BFSResult` with TEPS accounting and the modeled
+time breakdown.  :func:`run_bfs` keeps the historical keyword API as a
+thin compatibility shim over ``run``.
 """
 
 from __future__ import annotations
@@ -15,9 +20,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.bfs1d import bfs_1d
-from repro.core.bfs2d import bfs_2d, build_2d_blocks
-from repro.core.bfs_dirop import bfs_1d_dirop
+from repro.core.bfs1d import TopDown1D
+from repro.core.bfs2d import SpMSV2D, build_2d_blocks
+from repro.core.bfs_dirop import DirOpt1D
+from repro.core.engine import traversal_body
 from repro.core.partition import Decomp2D
 from repro.core.serial import bfs_serial
 from repro.core.validate import count_traversed_edges, validate_bfs
@@ -25,7 +31,6 @@ from repro.faults import (
     CheckpointConfig,
     CheckpointStore,
     FaultContext,
-    RankCrashError,
     RetryPolicy,
     resolve_fault_plan,
 )
@@ -35,17 +40,52 @@ from repro.model.machine import HOPPER, get_machine
 from repro.mpsim.engine import run_spmd
 from repro.mpsim.stats import SimStats
 
-#: Algorithm registry: name -> (family, hybrid?).
-ALGORITHMS: dict[str, tuple[str, bool]] = {
-    "serial": ("serial", False),
-    "1d": ("1d", False),
-    "1d-hybrid": ("1d", True),
-    "1d-dirop": ("1d-dirop", False),
-    "1d-dirop-hybrid": ("1d-dirop", True),
-    "2d": ("2d", False),
-    "2d-hybrid": ("2d", True),
-    "pbgl": ("pbgl", False),
-    "graph500-ref": ("graph500-ref", False),
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Declarative registry entry: how one algorithm name runs.
+
+    ``step`` is the :class:`~repro.core.engine.AlgorithmStep` plugin
+    class for engine-driven families (``None`` for the serial reference
+    and the baselines, which bring their own rank bodies).
+    ``capabilities`` names the cross-cutting concerns the family
+    supports; :meth:`RunConfig.resolve` rejects options the registry
+    does not declare:
+
+    * ``"wire"`` — exchanges route through :mod:`repro.comm`
+      (``codec``/``sieve`` apply);
+    * ``"tracer"`` — instrumented with :mod:`repro.obs` phase spans;
+    * ``"faults"`` — fault/checkpoint instrumentation
+      (``faults``/``checkpoint_every``/``max_retries`` apply);
+    * ``"trace-profile"`` — per-level profile under
+      ``result.meta["level_profile"]`` when ``trace=True``.
+    """
+
+    family: str
+    hybrid: bool
+    step: type | None = None
+    capabilities: frozenset = frozenset()
+
+
+#: Everything the engine provides to its step plugins.
+ENGINE_CAPABILITIES = frozenset({"wire", "tracer", "faults", "trace-profile"})
+
+#: Algorithm registry: name -> spec.  Adding an algorithm is one entry
+#: here plus one AlgorithmStep plugin class (docs/architecture.md has
+#: the how-to); the driver below contains no per-name branches beyond
+#: the family's step-constructor arguments.
+ALGORITHMS: dict[str, AlgorithmSpec] = {
+    "serial": AlgorithmSpec("serial", False),
+    "1d": AlgorithmSpec("1d", False, TopDown1D, ENGINE_CAPABILITIES),
+    "1d-hybrid": AlgorithmSpec("1d", True, TopDown1D, ENGINE_CAPABILITIES),
+    "1d-dirop": AlgorithmSpec("1d-dirop", False, DirOpt1D, ENGINE_CAPABILITIES),
+    "1d-dirop-hybrid": AlgorithmSpec(
+        "1d-dirop", True, DirOpt1D, ENGINE_CAPABILITIES
+    ),
+    "2d": AlgorithmSpec("2d", False, SpMSV2D, ENGINE_CAPABILITIES),
+    "2d-hybrid": AlgorithmSpec("2d", True, SpMSV2D, ENGINE_CAPABILITIES),
+    "pbgl": AlgorithmSpec("pbgl", False),
+    "graph500-ref": AlgorithmSpec("graph500-ref", False),
 }
 
 
@@ -94,7 +134,7 @@ class BFSResult:
 
 def _resolve_threads(algorithm: str, threads: int | None, machine) -> int:
     """Hybrid defaults follow the paper: 4-way on Franklin, 6-way on Hopper."""
-    _family, hybrid = ALGORITHMS[algorithm]
+    hybrid = ALGORITHMS[algorithm].hybrid
     if threads is not None:
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
@@ -104,6 +144,257 @@ def _resolve_threads(algorithm: str, threads: int | None, machine) -> int:
     if not hybrid:
         return 1
     return 6 if machine is not None and machine is HOPPER else 4
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One BFS run's full configuration, validated in one place.
+
+    Field semantics match the :func:`run_bfs` keyword of the same name
+    (see its docstring); ``run_bfs`` is a shim building one of these.
+    Construction checks the algorithm name; :meth:`resolve` checks every
+    cross-field constraint (machine, threads, capability gating) and
+    returns the resolved machine/thread choices the driver runs with.
+    """
+
+    algorithm: str = "1d"
+    nprocs: int = 4
+    threads: int | None = None
+    machine: object = None
+    kernel: str = "auto"
+    dedup_sends: bool = True
+    codec: object = "raw"
+    sieve: object = False
+    vector_dist: str = "2d"
+    modeled_cores: int | None = None
+    grid_shape: tuple[int, int] | None = None
+    dirop_alpha: float | None = None
+    dirop_beta: float | None = None
+    validate: bool = False
+    trace: bool = False
+    tracer: object = None
+    faults: object = None
+    checkpoint_every: int | None = None
+    max_retries: int | None = None
+
+    def __post_init__(self):
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+
+    @property
+    def spec(self) -> AlgorithmSpec:
+        return ALGORITHMS[self.algorithm]
+
+    @property
+    def resilient(self) -> bool:
+        """Whether any fault/checkpoint/retry option is active."""
+        return (
+            self.faults is not None
+            or self.checkpoint_every is not None
+            or self.max_retries is not None
+        )
+
+    def resolve(self) -> "ResolvedRun":
+        """Validate cross-field constraints; resolve machine and threads."""
+        spec = self.spec
+        machine = get_machine(self.machine)
+        threads = _resolve_threads(self.algorithm, self.threads, machine)
+        wire_default = (
+            self.codec == "raw" or getattr(self.codec, "name", None) == "raw"
+        ) and not self.sieve
+        if "wire" not in spec.capabilities and not wire_default:
+            raise ValueError(
+                f"{self.algorithm} does not route its exchanges through repro.comm; "
+                "codec/sieve apply to the 1d/2d families only"
+            )
+        if self.tracer is not None and "tracer" not in spec.capabilities:
+            raise ValueError(
+                f"{self.algorithm} is not instrumented for span tracing; "
+                "tracer applies to the 1d/2d families only"
+            )
+        if self.resilient and "faults" not in spec.capabilities:
+            raise ValueError(
+                f"{self.algorithm} has no fault/checkpoint instrumentation; "
+                "faults/checkpoint_every/max_retries apply to the 1d/2d families only"
+            )
+        return ResolvedRun(config=self, spec=spec, machine=machine, threads=threads)
+
+
+@dataclass(frozen=True)
+class ResolvedRun:
+    """A validated :class:`RunConfig` plus its resolved machine/threads."""
+
+    config: RunConfig
+    spec: AlgorithmSpec
+    machine: object
+    threads: int
+
+
+def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
+    """Run one BFS traversal of ``graph`` from ``source`` per ``config``.
+
+    The typed core of the driver: ``config`` is validated once, the
+    algorithm's step plugin comes from the registry, and the SPMD launch
+    plus result stitching below is the same code path for every engine
+    family.  :func:`run_bfs` is the keyword-API shim over this.
+    """
+    if not 0 <= source < graph.n:
+        raise ValueError(f"source {source} out of range [0, {graph.n})")
+    resolved = config.resolve()
+    spec, machine, threads = resolved.spec, resolved.machine, resolved.threads
+    nprocs = config.nprocs
+    src_internal = int(np.asarray(graph.to_internal(source)))
+    fault_meta = None
+
+    if spec.family == "serial":
+        levels_int, parents_int = bfs_serial(graph.csr, src_internal)
+        nlevels = int(levels_int.max()) if levels_int.max() >= 0 else 0
+        stats = None
+        nranks = 1
+        spmd = None
+    else:
+        cost_model = (
+            NetworkCostModel(machine, threads=threads, total_ranks=nprocs)
+            if machine is not None
+            else None
+        )
+        engine_kwargs = dict(
+            machine=machine,
+            threads=threads,
+            trace=config.trace,
+            tracer=config.tracer,
+        )
+        if spec.family in ("1d", "1d-dirop", "pbgl", "graph500-ref"):
+            nranks = nprocs
+            if spec.family == "1d":
+                step_args = (graph.csr, src_internal)
+                step_kwargs = dict(
+                    dedup_sends=config.dedup_sends,
+                    codec=config.codec,
+                    sieve=config.sieve,
+                )
+            elif spec.family == "1d-dirop":
+                step_args = (graph.csr, src_internal)
+                step_kwargs = dict(
+                    dedup_sends=config.dedup_sends,
+                    codec=config.codec,
+                    sieve=config.sieve,
+                    alpha=config.dirop_alpha,
+                    beta=config.dirop_beta,
+                    symmetric=not graph.directed,
+                )
+            elif spec.family == "pbgl":
+                from repro.baselines.pbgl_like import bfs_pbgl_like
+
+                spmd = run_spmd(
+                    nranks,
+                    bfs_pbgl_like,
+                    graph.csr,
+                    src_internal,
+                    machine=machine,
+                    cost_model=cost_model,
+                )
+            else:
+                from repro.baselines.graph500_ref import bfs_graph500_ref
+
+                spmd = run_spmd(
+                    nranks,
+                    bfs_graph500_ref,
+                    graph.csr,
+                    src_internal,
+                    machine=machine,
+                    cost_model=cost_model,
+                )
+        else:  # 2d family
+            if config.grid_shape is not None:
+                pr, pc = config.grid_shape
+            else:
+                pr = pc = math.isqrt(nprocs)
+            if pr < 1 or pc < 1:
+                raise ValueError(f"grid must be positive, got {pr}x{pc}")
+            nranks = pr * pc
+            decomp = Decomp2D(
+                graph.n, pr, pc, diagonal_vectors=(config.vector_dist == "1d")
+            )
+            blocks = build_2d_blocks(graph.csr, decomp, threads=threads)
+            if cost_model is not None:
+                cost_model = NetworkCostModel(
+                    machine, threads=threads, total_ranks=nranks
+                )
+            step_args = (blocks, decomp, src_internal)
+            step_kwargs = dict(
+                kernel=config.kernel,
+                modeled_cores=config.modeled_cores,
+                codec=config.codec,
+                sieve=config.sieve,
+            )
+        if spec.step is not None:
+            spmd, fault_meta = _run_resilient(
+                nranks,
+                traversal_body,
+                (spec.step, step_args, step_kwargs),
+                engine_kwargs,
+                cost_model,
+                config.faults,
+                config.checkpoint_every,
+                config.max_retries,
+            )
+        lo_key, hi_key = spec.step.result_keys if spec.step else ("lo", "hi")
+        levels_int = np.empty(graph.n, dtype=np.int64)
+        parents_int = np.empty(graph.n, dtype=np.int64)
+        for rank_out in spmd.returns:
+            levels_int[rank_out[lo_key] : rank_out[hi_key]] = rank_out["levels"]
+            parents_int[rank_out[lo_key] : rank_out[hi_key]] = rank_out["parents"]
+        nlevels = max(r["nlevels"] for r in spmd.returns)
+        stats = spmd.stats
+
+    if config.validate:
+        ref_levels, _ref_parents = bfs_serial(graph.csr, src_internal)
+        validate_bfs(
+            graph.csr,
+            src_internal,
+            levels_int,
+            parents_int,
+            reference_levels=ref_levels,
+            undirected=not graph.directed,
+        )
+
+    level_profile = None
+    if config.trace and "trace-profile" in spec.capabilities:
+        level_profile = _merge_traces([r["trace"] for r in spmd.returns])
+
+    m_traversed = count_traversed_edges(graph.csr, levels_int, graph.m_input)
+    return BFSResult(
+        levels=graph.relabel_level_array(levels_int),
+        parents=graph.relabel_vertex_array(parents_int),
+        source=source,
+        algorithm=config.algorithm,
+        nranks=nranks,
+        threads=threads,
+        nlevels=nlevels,
+        m_traversed=m_traversed,
+        stats=stats,
+        meta={
+            "graph": graph.name,
+            "machine": machine.name if machine is not None else None,
+            "kernel": config.kernel,
+            "dedup_sends": config.dedup_sends,
+            "codec": getattr(config.codec, "name", config.codec),
+            "sieve": bool(config.sieve),
+            "vector_dist": config.vector_dist,
+            "dirop_alpha": (
+                DIROP_ALPHA if config.dirop_alpha is None else config.dirop_alpha
+            ),
+            "dirop_beta": (
+                DIROP_BETA if config.dirop_beta is None else config.dirop_beta
+            ),
+            "level_profile": level_profile,
+            "tracer": config.tracer,
+            "faults": fault_meta,
+        },
+    )
 
 
 def run_bfs(
@@ -130,6 +421,10 @@ def run_bfs(
     max_retries: int | None = None,
 ) -> BFSResult:
     """Run one BFS traversal of ``graph`` from ``source``.
+
+    Compatibility shim: every keyword maps one-to-one onto the
+    :class:`RunConfig` field of the same name, and the call is
+    equivalent to ``run(graph, source, RunConfig(...))``.
 
     Parameters
     ----------
@@ -216,201 +511,30 @@ def run_bfs(
         :class:`~repro.faults.RetryPolicy`'s 3); a fault schedule denser
         than the budget raises ``RetryExhaustedError``.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
-    if not 0 <= source < graph.n:
-        raise ValueError(f"source {source} out of range [0, {graph.n})")
-    machine = get_machine(machine)
-    threads = _resolve_threads(algorithm, threads, machine)
-    family, _hybrid = ALGORITHMS[algorithm]
-    wire_default = (codec == "raw" or getattr(codec, "name", None) == "raw") and not sieve
-    if family in ("serial", "pbgl", "graph500-ref") and not wire_default:
-        raise ValueError(
-            f"{algorithm} does not route its exchanges through repro.comm; "
-            "codec/sieve apply to the 1d/2d families only"
-        )
-    if tracer is not None and family in ("serial", "pbgl", "graph500-ref"):
-        raise ValueError(
-            f"{algorithm} is not instrumented for span tracing; "
-            "tracer applies to the 1d/2d families only"
-        )
-    resilient = (
-        faults is not None or checkpoint_every is not None or max_retries is not None
-    )
-    if resilient and family in ("serial", "pbgl", "graph500-ref"):
-        raise ValueError(
-            f"{algorithm} has no fault/checkpoint instrumentation; "
-            "faults/checkpoint_every/max_retries apply to the 1d/2d families only"
-        )
-    src_internal = int(np.asarray(graph.to_internal(source)))
-    fault_meta = None
-
-    if family == "serial":
-        levels_int, parents_int = bfs_serial(graph.csr, src_internal)
-        nlevels = int(levels_int.max()) if levels_int.max() >= 0 else 0
-        stats = None
-        nranks = 1
-    else:
-        cost_model = (
-            NetworkCostModel(machine, threads=threads, total_ranks=nprocs)
-            if machine is not None
-            else None
-        )
-        if family in ("1d", "1d-dirop", "pbgl", "graph500-ref"):
-            nranks = nprocs
-            if family == "1d":
-                spmd, fault_meta = _run_resilient(
-                    nranks,
-                    bfs_1d,
-                    (graph.csr, src_internal),
-                    dict(
-                        machine=machine,
-                        threads=threads,
-                        dedup_sends=dedup_sends,
-                        codec=codec,
-                        sieve=sieve,
-                        trace=trace,
-                        tracer=tracer,
-                    ),
-                    cost_model,
-                    faults,
-                    checkpoint_every,
-                    max_retries,
-                )
-            elif family == "1d-dirop":
-                spmd, fault_meta = _run_resilient(
-                    nranks,
-                    bfs_1d_dirop,
-                    (graph.csr, src_internal),
-                    dict(
-                        machine=machine,
-                        threads=threads,
-                        dedup_sends=dedup_sends,
-                        codec=codec,
-                        sieve=sieve,
-                        alpha=dirop_alpha,
-                        beta=dirop_beta,
-                        symmetric=not graph.directed,
-                        trace=trace,
-                        tracer=tracer,
-                    ),
-                    cost_model,
-                    faults,
-                    checkpoint_every,
-                    max_retries,
-                )
-            elif family == "pbgl":
-                from repro.baselines.pbgl_like import bfs_pbgl_like
-
-                spmd = run_spmd(
-                    nranks,
-                    bfs_pbgl_like,
-                    graph.csr,
-                    src_internal,
-                    machine=machine,
-                    cost_model=cost_model,
-                )
-            else:
-                from repro.baselines.graph500_ref import bfs_graph500_ref
-
-                spmd = run_spmd(
-                    nranks,
-                    bfs_graph500_ref,
-                    graph.csr,
-                    src_internal,
-                    machine=machine,
-                    cost_model=cost_model,
-                )
-            levels_int = np.empty(graph.n, dtype=np.int64)
-            parents_int = np.empty(graph.n, dtype=np.int64)
-            for rank_out in spmd.returns:
-                levels_int[rank_out["lo"] : rank_out["hi"]] = rank_out["levels"]
-                parents_int[rank_out["lo"] : rank_out["hi"]] = rank_out["parents"]
-            nlevels = max(r["nlevels"] for r in spmd.returns)
-            stats = spmd.stats
-        else:  # 2d family
-            if grid_shape is not None:
-                pr, pc = grid_shape
-            else:
-                pr = pc = math.isqrt(nprocs)
-            if pr < 1 or pc < 1:
-                raise ValueError(f"grid must be positive, got {pr}x{pc}")
-            nranks = pr * pc
-            decomp = Decomp2D(
-                graph.n, pr, pc, diagonal_vectors=(vector_dist == "1d")
-            )
-            blocks = build_2d_blocks(graph.csr, decomp, threads=threads)
-            if cost_model is not None:
-                cost_model = NetworkCostModel(
-                    machine, threads=threads, total_ranks=nranks
-                )
-            spmd, fault_meta = _run_resilient(
-                nranks,
-                bfs_2d,
-                (blocks, decomp, src_internal),
-                dict(
-                    machine=machine,
-                    threads=threads,
-                    kernel=kernel,
-                    modeled_cores=modeled_cores,
-                    codec=codec,
-                    sieve=sieve,
-                    trace=trace,
-                    tracer=tracer,
-                ),
-                cost_model,
-                faults,
-                checkpoint_every,
-                max_retries,
-            )
-            levels_int = np.empty(graph.n, dtype=np.int64)
-            parents_int = np.empty(graph.n, dtype=np.int64)
-            for rank_out in spmd.returns:
-                levels_int[rank_out["plo"] : rank_out["phi"]] = rank_out["levels"]
-                parents_int[rank_out["plo"] : rank_out["phi"]] = rank_out["parents"]
-            nlevels = max(r["nlevels"] for r in spmd.returns)
-            stats = spmd.stats
-
-    if validate:
-        ref_levels, _ref_parents = bfs_serial(graph.csr, src_internal)
-        validate_bfs(
-            graph.csr,
-            src_internal,
-            levels_int,
-            parents_int,
-            reference_levels=ref_levels,
-            undirected=not graph.directed,
-        )
-
-    level_profile = None
-    if trace and family not in ("serial", "pbgl", "graph500-ref"):
-        level_profile = _merge_traces([r["trace"] for r in spmd.returns])
-
-    m_traversed = count_traversed_edges(graph.csr, levels_int, graph.m_input)
-    return BFSResult(
-        levels=graph.relabel_level_array(levels_int),
-        parents=graph.relabel_vertex_array(parents_int),
-        source=source,
-        algorithm=algorithm,
-        nranks=nranks,
-        threads=threads,
-        nlevels=nlevels,
-        m_traversed=m_traversed,
-        stats=stats,
-        meta={
-            "graph": graph.name,
-            "machine": machine.name if machine is not None else None,
-            "kernel": kernel,
-            "dedup_sends": dedup_sends,
-            "codec": getattr(codec, "name", codec),
-            "sieve": bool(sieve),
-            "vector_dist": vector_dist,
-            "dirop_alpha": DIROP_ALPHA if dirop_alpha is None else dirop_alpha,
-            "dirop_beta": DIROP_BETA if dirop_beta is None else dirop_beta,
-            "level_profile": level_profile,
-            "tracer": tracer,
-            "faults": fault_meta,
-        },
+    return run(
+        graph,
+        source,
+        RunConfig(
+            algorithm=algorithm,
+            nprocs=nprocs,
+            threads=threads,
+            machine=machine,
+            kernel=kernel,
+            dedup_sends=dedup_sends,
+            codec=codec,
+            sieve=sieve,
+            vector_dist=vector_dist,
+            modeled_cores=modeled_cores,
+            grid_shape=grid_shape,
+            dirop_alpha=dirop_alpha,
+            dirop_beta=dirop_beta,
+            validate=validate,
+            trace=trace,
+            tracer=tracer,
+            faults=faults,
+            checkpoint_every=checkpoint_every,
+            max_retries=max_retries,
+        ),
     )
 
 
@@ -436,7 +560,7 @@ def _run_resilient(
     The fast path (no resilience options) is the plain ``run_spmd`` call.
     Otherwise the fault plan and checkpoint store are built once and the
     launch loops: a permanent rank crash is observed cooperatively by
-    every rank at the level boundary (the bodies return a ``"crashed"``
+    every rank at the level boundary (the engine returns a ``"crashed"``
     marker, so the SPMD run completes normally with deterministic clocks
     and spans); with checkpointing on, the crash event is marked consumed
     and the run restarts from the last complete checkpoint (or from the

@@ -1,0 +1,108 @@
+"""Capture golden run-report fixtures for the engine parity tests.
+
+Runs each distributed BFS family once with every cross-cutting concern
+enabled — wire codec, sender-side sieve, per-level trace profile, span
+tracer, fault injection (crash + transients), and checkpoint-restart —
+and freezes the observable outputs as JSON:
+
+* ``parents`` / ``levels`` in the caller's labels,
+* the machine-readable run report (config, modeled times, GTEPS,
+  ``stats.summary()`` comm volumes, span-derived phase/level/critical
+  sections, and the fault/checkpoint accounting),
+* the merged per-level trace profile,
+* the full Chrome ``trace_event`` span tree of every rank.
+
+The fixtures committed under ``tests/golden/`` were produced by the
+pre-engine scaffolding (one hand-rolled level loop per algorithm file);
+``tests/test_golden_parity.py`` asserts the refactored
+:mod:`repro.core.engine` reproduces them bit-identically.  Regenerate
+(only when an intentional behavior change is being locked in) with::
+
+    PYTHONPATH=src python tests/golden/capture.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import run_bfs
+from repro.graphs import rmat_graph
+from repro.obs import Tracer, chrome_trace, run_report
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: One deterministic fault schedule shared by every family: a rank-1
+#: crash at level 3 (forcing a checkpoint restart), a timeout on the
+#: level-2 alltoallv (one retry), a corruption on rank 0 (detected via
+#: CodecError on the damaged wire, then retried) and a fixed-length
+#: delay on rank 0 at level 1.
+FAULT_SPEC = (
+    "crash:rank=1,level=3;"
+    "timeout:level=2,site=alltoallv;"
+    "corrupt:rank=0,level=2;"
+    "delay:rank=0,level=1,seconds=1e-4;"
+    "seed=7"
+)
+
+#: Graph + run configuration of every fixture (kwargs to ``run_bfs``).
+CONFIGS: dict[str, dict] = {
+    algorithm: dict(
+        algorithm=algorithm,
+        nprocs=4,
+        machine="hopper",
+        codec="delta-varint",
+        sieve=True,
+        trace=True,
+        faults=FAULT_SPEC,
+        checkpoint_every=2,
+        validate=True,
+    )
+    for algorithm in ("1d", "1d-dirop", "2d")
+}
+
+GRAPH = dict(scale=9, edgefactor=8, seed=5)
+SOURCE_SEED = 3
+
+
+def capture(algorithm: str) -> dict:
+    """Run one fixture configuration and freeze its observables."""
+    graph = rmat_graph(GRAPH["scale"], GRAPH["edgefactor"], seed=GRAPH["seed"])
+    source = int(graph.random_nonisolated_vertices(1, seed=SOURCE_SEED)[0])
+    tracer = Tracer()
+    config = dict(CONFIGS[algorithm])
+    algorithm = config.pop("algorithm")
+    result = run_bfs(graph, source, algorithm, tracer=tracer, **config)
+    return {
+        "graph": dict(GRAPH),
+        "source": source,
+        "config": {"algorithm": algorithm, **config},
+        "parents": [int(p) for p in result.parents],
+        "levels": [int(lvl) for lvl in result.levels],
+        "report": run_report(result),
+        "level_profile": result.meta["level_profile"],
+        "trace_events": chrome_trace(tracer)["traceEvents"],
+    }
+
+
+def main() -> None:
+    for algorithm in CONFIGS:
+        fixture = capture(algorithm)
+        path = GOLDEN_DIR / f"{algorithm}.json"
+        path.write_text(
+            json.dumps(fixture, indent=1, allow_nan=False, sort_keys=True) + "\n"
+        )
+        profile = fixture["level_profile"]
+        directions = {
+            entry["direction"] for entry in profile if "direction" in entry
+        }
+        print(
+            f"wrote {path.name}: nlevels={fixture['report']['graph']['nlevels']} "
+            f"spans={len(fixture['trace_events'])} "
+            f"attempts={fixture['report']['faults']['attempts']}"
+            + (f" directions={sorted(directions)}" if directions else "")
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bench import harness
 from repro.bench.harness import (
     average_bfs,
     closest_square_cores,

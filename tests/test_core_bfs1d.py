@@ -7,8 +7,9 @@ import pytest
 
 import repro
 from repro.core import bfs_serial
-from repro.mpsim import run_spmd
 from repro.core.bfs1d import bfs_1d
+from repro.mpsim import run_spmd
+
 from tests.conftest import make_disconnected_graph, make_path_graph, make_star_graph
 
 

@@ -9,6 +9,7 @@ from repro.core import bfs_serial
 from repro.core.bfs2d import bfs_2d, build_2d_blocks
 from repro.core.partition import Decomp2D
 from repro.mpsim import run_spmd
+
 from tests.conftest import make_disconnected_graph, make_path_graph, make_star_graph
 
 

@@ -8,6 +8,7 @@ import pytest
 from repro.core import bfs_serial
 from repro.core.serial import bfs_queue
 from repro.core.validate import ValidationError, count_traversed_edges, validate_bfs
+
 from tests.conftest import make_disconnected_graph, make_path_graph, make_star_graph
 
 

@@ -10,7 +10,6 @@ from repro.faults import (
     CheckpointConfig,
     CheckpointStore,
     FaultEvent,
-    FaultPlan,
     RankCrashError,
     RetryPolicy,
     corrupt_pieces,

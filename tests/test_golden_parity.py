@@ -1,0 +1,99 @@
+"""Golden-parity battery for the traversal engine refactor.
+
+The fixtures under ``tests/golden/`` were captured with the pre-engine
+scaffolding (one hand-rolled level loop per algorithm file) running each
+distributed family with every cross-cutting concern on at once: wire
+codec, sender-side sieve, per-level trace profile, span tracer, a fault
+schedule (crash + timeout + corruption + delay) and checkpoint-restart.
+These tests re-run the same configurations through
+:class:`repro.core.engine.TraversalEngine` and assert the observable
+outputs are **bit-identical** — parents and levels, the machine-readable
+run report (modeled times, ``stats.summary()`` comm volumes, fault and
+checkpoint accounting), the merged per-level profile, and the complete
+Chrome ``trace_event`` span tree of every rank.
+
+If one of these fails, the engine's level skeleton has drifted from the
+original loops; regenerating the fixtures (``python tests/golden/
+capture.py``) is only legitimate when an intentional behavior change is
+being locked in.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_capture", GOLDEN_DIR / "capture.py"
+)
+capture = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(capture)
+
+FAMILIES = sorted(capture.CONFIGS)
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    """One fresh capture per family, normalized through JSON like the files."""
+    fresh = {}
+    for algorithm in FAMILIES:
+        fresh[algorithm] = json.loads(
+            json.dumps(capture.capture(algorithm), allow_nan=False)
+        )
+    return fresh
+
+
+def committed(algorithm: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{algorithm}.json").read_text())
+
+
+@pytest.mark.parametrize("algorithm", FAMILIES)
+class TestGoldenParity:
+    def test_fixture_exercises_everything(self, algorithm):
+        """Guard the fixtures themselves: a config drift that silently
+        stops covering recovery or both directions would hollow out the
+        parity guarantee."""
+        golden = committed(algorithm)
+        config = golden["config"]
+        assert config["codec"] == "delta-varint" and config["sieve"]
+        assert config["trace"] and config["checkpoint_every"] == 2
+        assert "crash:" in config["faults"]
+        assert golden["report"]["faults"]["attempts"] >= 2  # crash fired
+        assert golden["report"]["faults"]["counters"]["checkpoints"] > 0
+        assert golden["trace_events"]
+        if algorithm == "1d-dirop":
+            directions = {
+                entry["direction"] for entry in golden["level_profile"]
+            }
+            assert directions == {"top-down", "bottom-up"}
+
+    def test_parents_and_levels(self, fixtures, algorithm):
+        golden = committed(algorithm)
+        assert fixtures[algorithm]["parents"] == golden["parents"]
+        assert fixtures[algorithm]["levels"] == golden["levels"]
+
+    def test_run_report(self, fixtures, algorithm):
+        """Config, modeled times, GTEPS, comm volumes, span-derived phase
+        sections, and the fault/checkpoint accounting — all bit-equal."""
+        golden = committed(algorithm)["report"]
+        fresh = fixtures[algorithm]["report"]
+        assert sorted(fresh) == sorted(golden)
+        for section in golden:
+            assert fresh[section] == golden[section], section
+
+    def test_level_profile(self, fixtures, algorithm):
+        golden = committed(algorithm)
+        assert fixtures[algorithm]["level_profile"] == golden["level_profile"]
+
+    def test_span_tree(self, fixtures, algorithm):
+        """Every rank's nested phase spans, with virtual timestamps."""
+        golden = committed(algorithm)
+        assert fixtures[algorithm]["trace_events"] == golden["trace_events"]
+
+    def test_whole_fixture(self, fixtures, algorithm):
+        assert fixtures[algorithm] == committed(algorithm)

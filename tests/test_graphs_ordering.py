@@ -67,7 +67,7 @@ class TestRcmOrdering:
         assert np.array_equal(np.sort(perm), np.arange(8))
 
     def test_bfs_still_correct_after_relabel(self, rmat_small):
-        from repro.core import bfs_serial, run_bfs
+        from repro.core import run_bfs
 
         perm = rcm_ordering(rmat_small.csr)
         rows = np.repeat(

@@ -169,7 +169,6 @@ def test_tree_edges_span_one_level(case):
     for v in range(graph.n):
         if levels[v] > 0:
             assert levels[parents[v]] == levels[v] - 1
-    internal_levels = graph.relabel_level_array  # noqa: B018 - doc only
     csr = graph.csr
     rows = np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees())
     lv_int, _ = bfs_serial(csr, int(np.asarray(graph.to_internal(source))))

@@ -6,8 +6,8 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mpsim import collectives as coll
 from repro.graphs.permutation import invert_permutation, random_permutation
+from repro.mpsim import collectives as coll
 from repro.sparse import DCSC, CSRMatrix, SparseVector, spmsv_heap, spmsv_spa
 
 

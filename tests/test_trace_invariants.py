@@ -10,7 +10,6 @@ direction it actually ran.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import run_bfs

@@ -74,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help=(
-            "1d-dirop top-down->bottom-up threshold: switch when frontier "
+            "dirop top-down->bottom-up threshold: switch when frontier "
             "edges exceed 1/alpha of the unexplored edges (default: the "
             "tuned DIROP_ALPHA)"
         ),
@@ -84,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help=(
-            "1d-dirop bottom-up->top-down threshold: switch back when the "
+            "dirop bottom-up->top-down threshold: switch back when the "
             "frontier shrinks below n/beta vertices (default: DIROP_BETA)"
         ),
     )

@@ -304,6 +304,52 @@ class CommChannel:
                 self.sieve.mark_mask(mask)
         return mask, info
 
+    def gather_mask(
+        self, vertices: np.ndarray, level: int | None = None
+    ) -> tuple[np.ndarray, ExchangeInfo]:
+        """Allgather dense per-range bitmaps into one boolean mask.
+
+        Unlike :meth:`expand_bitmap` — whose result mask spans the union
+        of *disjoint* ranges tiling ``[0, nglobal)`` — this gathers
+        ranges that may overlap or start anywhere: each rank contributes
+        the bitmap of its own :class:`VertexRange` and the decoded
+        pieces are OR-unioned into a mask over ``[base, top)`` where
+        ``base``/``top`` bound the group's ranges.  Index ``i`` of the
+        mask is vertex ``base + i``.  The 2D bottom-up step uses it for
+        both of its gathers: the frontier along a processor column
+        (identical overlapping ranges, one column block) and the
+        visited vertices along a processor row (disjoint vector pieces
+        starting at the row block's offset, not at zero).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        mine = self.ranges[self.comm.rank]
+        with self.obs.span("encode", codec=self.codec.name):
+            payload = float(bitmap_words(mine.nbits))
+            buf = self.codec.encode_set(vertices, mine, dense=True)
+            self._charge_encode(float(vertices.size), payload, float(buf.size))
+        info = ExchangeInfo(int(vertices.size), payload, float(buf.size), 0)
+        pieces = self._collect_with_retry(
+            "allgatherv",
+            info,
+            level,
+            lambda: self.comm.allgatherv(buf, concat=False),
+            lambda r, piece: self.codec.decode_set(piece, self.ranges[r], dense=True),
+            "truncate",
+        )
+        with self.obs.span("decode", codec=self.codec.name):
+            base = min(r.lo for r in self.ranges)
+            top = max(r.lo + r.nbits for r in self.ranges)
+            mask = np.zeros(top - base, dtype=bool)
+            wire_recv = 0.0
+            for r, piece in enumerate(pieces):
+                decoded = self.codec.decode_set(piece, self.ranges[r], dense=True)
+                mask[decoded - base] = True
+                wire_recv += float(np.asarray(piece).size)
+            self._charge_decode(float(top - base) / 64.0, wire_recv)
+            if self.sieve is not None:
+                self.sieve.mark(np.flatnonzero(mask) + base)
+        return mask, info
+
     def allgatherv_vertices(
         self, vertices: np.ndarray, level: int | None = None
     ) -> tuple[np.ndarray, ExchangeInfo]:

@@ -13,12 +13,17 @@
   per-level switching between the top-down exchange and a bottom-up
   sweep against an ``Allgatherv``-assembled frontier bitmap, preserving
   the (select, max) parents via early-exiting reverse edge scans;
+* :class:`~repro.core.bfs2d_dirop.DirOpt2D` — direction-optimizing 2D
+  (the follow-up paper, arXiv:1705.04590): the same alpha/beta switching
+  policy inside the 2D SpMSV loop, with bitmap-compressed expand and
+  completed exchanges along the processor grid;
 * :class:`~repro.core.engine.TraversalEngine` — the shared
   level-synchronous skeleton: the algorithms above are thin
   :class:`~repro.core.engine.AlgorithmStep` plugins
   (:class:`~repro.core.bfs1d.TopDown1D`,
   :class:`~repro.core.bfs_dirop.DirOpt1D`,
-  :class:`~repro.core.bfs2d.SpMSV2D`) running under it;
+  :class:`~repro.core.bfs2d.SpMSV2D`,
+  :class:`~repro.core.bfs2d_dirop.DirOpt2D`) running under it;
 * :func:`~repro.core.runner.run` / :func:`~repro.core.runner.run_bfs` —
   one-call driver over a typed :class:`~repro.core.runner.RunConfig`
   (``run_bfs`` is the keyword-API shim): partitions the graph, launches
@@ -28,6 +33,7 @@
 
 from repro.core.bfs1d import TopDown1D, bfs_1d
 from repro.core.bfs2d import SpMSV2D, bfs_2d
+from repro.core.bfs2d_dirop import DirOpt2D
 from repro.core.bfs_dirop import DirOpt1D, bfs_1d_dirop
 from repro.core.engine import AlgorithmStep, LevelOutcome, TraversalEngine
 from repro.core.partition import Decomp2D, Partition1D
@@ -49,6 +55,7 @@ __all__ = [
     "TopDown1D",
     "DirOpt1D",
     "SpMSV2D",
+    "DirOpt2D",
     "AlgorithmStep",
     "LevelOutcome",
     "TraversalEngine",

@@ -147,7 +147,7 @@ class SpMSV2D:
         if self.modeled_cores is None:
             self.modeled_cores = comm.size * engine.threads
 
-        self.row_lo, _row_hi = decomp.row_block(grid.row)
+        self.row_lo, self.row_hi = decomp.row_block(grid.row)
         self.col_lo, self.col_hi = decomp.col_block(grid.col)
         self.plo, self.phi = decomp.vec_piece(grid.row, grid.col)
         self.nloc = self.phi - self.plo
@@ -202,29 +202,35 @@ class SpMSV2D:
     def begin_level(self, level: int) -> dict:
         return {"level": level}
 
+    def _transpose_frontier(self, frontier: np.ndarray, level: int) -> np.ndarray:
+        """TransposeVector: line the frontier up with processor columns.
+
+        On a square grid this is the paper's pairwise P(i,j)<->P(j,i)
+        swap; on a rectangular grid it is the general all-to-all
+        (Section 3.2): each element is routed along my processor row to
+        the grid column owning its column block, and the expand's gather
+        unions the rows' contributions.
+        """
+        decomp, grid = self.decomp, self.grid
+        with self.obs.span("transpose", level=level):
+            if decomp.is_square:
+                return grid.transpose_vector(frontier)
+            dest_cols = decomp.col_block_of(frontier)
+            order = np.argsort(dest_cols, kind="stable")
+            routed = frontier[order]
+            counts = np.bincount(dest_cols, minlength=decomp.pc)
+            offs = np.concatenate([[0], np.cumsum(counts)])
+            transposed, _cnt = grid.row_comm.alltoallv_concat(
+                [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
+            )
+            return transposed
+
     def step(self, level: int) -> LevelOutcome:
         decomp, grid = self.decomp, self.grid
         charger, obs = self.charger, self.obs
         frontier = self.frontier
-        # 1. TransposeVector: line the frontier up with processor
-        #    columns.  On a square grid this is the paper's pairwise
-        #    P(i,j)<->P(j,i) swap; on a rectangular grid it is the
-        #    general all-to-all (Section 3.2): each element is routed
-        #    along my processor row to the grid column owning its
-        #    column block, and step 2's gather unions the rows'
-        #    contributions.
-        with obs.span("transpose", level=level):
-            if decomp.is_square:
-                transposed = grid.transpose_vector(frontier)
-            else:
-                dest_cols = decomp.col_block_of(frontier)
-                order = np.argsort(dest_cols, kind="stable")
-                routed = frontier[order]
-                counts = np.bincount(dest_cols, minlength=decomp.pc)
-                offs = np.concatenate([[0], np.cumsum(counts)])
-                transposed, _cnt = grid.row_comm.alltoallv_concat(
-                    [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
-                )
+        # 1. TransposeVector (see _transpose_frontier).
+        transposed = self._transpose_frontier(frontier, level)
 
         # 2. Expand: column j assembles the full frontier of column
         #    block j — the column support of every matrix block in

@@ -1,0 +1,323 @@
+"""Direction-optimizing BFS on the 2D matrix partition.
+
+The follow-up work of Buluc, Beamer, Madduri, Asanovic and Patterson
+("Distributed-Memory Breadth-First Search Revisited", arXiv:1705.04590)
+combines the two refinements this repo previously modeled separately:
+Algorithm 3's 2D SpMSV decomposition and Beamer's direction-optimizing
+search.  On the hub-dominated middle levels the top-down SpMSV — whose
+fold ships one (vertex, parent) pair per candidate edge — is replaced by
+a *bottom-up* sweep inside the same processor grid:
+
+* **expand** — the transposed frontier is gathered along the processor
+  column as a dense bitmap (``~n_block/64`` words on the wire via
+  :meth:`~repro.comm.CommChannel.gather_mask`), instead of a sparse
+  vertex list;
+* **completed exchange** — each rank contributes its vector piece's
+  visited vertices to a second bitmap gather along the processor *row*,
+  assembling the block-row "completed" array every rank of the row scans
+  against (the paper's per-level bottom-up row communication);
+* **fold** — each rank reverse-scans the unvisited rows of its local
+  block against the frontier bitmap, early-exiting at the first hit.
+  The stored matrix is ``A^T`` (block row ``v`` holds the in-neighbours
+  of ``v``), and the reverse scan of a sorted list lands on the *maximum*
+  frontier in-neighbour inside the rank's column block; the usual pair
+  fold along the row plus the receiver's (select, max) dedup then picks
+  the global maximum — exactly the parent every other algorithm in the
+  repo produces, so the variant stays bit-identical to the serial
+  oracle.  (Because the matrix is pre-transposed, the sweep is correct
+  on directed inputs too, unlike the 1D variant which must pin
+  top-down.)
+
+Direction choice is collective and deterministic, reusing the DirOpt1D
+policy: the level-closing ``Allreduce`` carries the global frontier
+size, its incident-edge count and the unexplored-edge count, and every
+rank applies the shared ``alpha``/``beta`` predicates from
+:mod:`repro.core.frontier` in lockstep.  Checkpoints extend the 2D base
+state with the switching hysteresis (current direction plus the last
+global stats), so a restarted attempt resumes with the same decisions.
+
+Only the level *interior* lives here: :class:`DirOpt2D` is an
+:class:`~repro.core.engine.AlgorithmStep` plugin subclassing
+:class:`~repro.core.bfs2d.SpMSV2D` (top-down levels run the parent's
+transpose/expand/SpMSV/fold phases unchanged); the level loop,
+crash markers and checkpoint plumbing are the
+:class:`~repro.core.engine.TraversalEngine`'s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import restore_sieve, sieve_state
+from repro.core.bfs2d import SpMSV2D
+from repro.core.bfs_dirop import BOTTOM_UP, TOP_DOWN
+from repro.core.engine import LevelOutcome, TraversalEngine
+from repro.core.frontier import (
+    bitmap_words,
+    dedup_candidates,
+    should_switch_bottom_up,
+    should_switch_top_down,
+)
+from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA
+
+
+class DirOpt2D(SpMSV2D):
+    """The direction-optimizing 2D level interior, as an engine plugin.
+
+    Top-down levels are the parent's Algorithm 3 phases verbatim;
+    bottom-up levels run the bitmap expand + completed exchange +
+    reverse-scan fold described in the module docstring.  The direction
+    flip happens in :meth:`begin_level` from collective state only, the
+    termination ``Allreduce`` carries the three frontier-density
+    statistics the predicates need, and checkpoints add the switch
+    hysteresis via :meth:`state`/:meth:`restore`.
+    """
+
+    def __init__(
+        self,
+        blocks,
+        decomp,
+        source: int,
+        kernel: str = "auto",
+        modeled_cores: int | None = None,
+        codec="raw",
+        sieve=False,
+        alpha: float | None = None,
+        beta: float | None = None,
+        degrees: np.ndarray | None = None,
+    ):
+        super().__init__(
+            blocks,
+            decomp,
+            source,
+            kernel=kernel,
+            modeled_cores=modeled_cores,
+            codec=codec,
+            sieve=sieve,
+        )
+        self.alpha = DIROP_ALPHA if alpha is None else alpha
+        self.beta = DIROP_BETA if beta is None else beta
+        #: Global per-vertex degree array (shared, read-only): the
+        #: switching statistics need edge counts for the rank's vector
+        #: piece, which the rank's matrix block alone cannot provide.
+        self.global_degrees = degrees
+
+    def setup(self, engine: TraversalEngine) -> None:
+        super().setup(engine)
+        if self.global_degrees is None:
+            raise ValueError("DirOpt2D needs the global degree array")
+
+        # Row-major view of the local block: the bottom-up sweep walks
+        # whole block *rows* (in-adjacencies), which the column-major
+        # DCSC pieces cannot serve.  Built once per rank, like the DCSC
+        # itself — graph (re)structuring is unpriced setup throughout.
+        rows_parts, cols_parts = [], []
+        for t, piece in enumerate(self.local.pieces):
+            prows, pcols = piece.to_coo()
+            rows_parts.append(prows + self.local.band_offsets[t])
+            cols_parts.append(pcols)
+        if rows_parts:
+            rows = np.concatenate(rows_parts)
+            cols = np.concatenate(cols_parts)
+        else:
+            rows = np.empty(0, dtype=np.int64)
+            cols = np.empty(0, dtype=np.int64)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        nrows_block = self.row_hi - self.row_lo
+        self.bu_indptr = np.zeros(nrows_block + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=nrows_block), out=self.bu_indptr[1:])
+        #: Ascending global in-neighbour ids per block row.
+        self.bu_cols = cols + self.col_lo
+
+        # Switching statistics over the rank's vector piece (each vertex
+        # is owned by exactly one piece, so the Allreduce sums exactly).
+        self.piece_degrees = np.asarray(self.global_degrees)[self.plo : self.phi]
+        self.unexplored_edges = int(self.piece_degrees.sum())
+        if self.plo <= self.source < self.phi:
+            self.unexplored_edges -= int(self.piece_degrees[self.source - self.plo])
+        self.direction = TOP_DOWN
+
+    # -- direction policy (shared with DirOpt1D) ----------------------------
+    def _frontier_stats(self, front: np.ndarray) -> np.ndarray:
+        fedges = (
+            int(self.piece_degrees[front - self.plo].sum()) if front.size else 0
+        )
+        return np.array(
+            [front.size, fedges, self.unexplored_edges], dtype=np.int64
+        )
+
+    def _sync_stats(self) -> None:
+        self.g_front, self.g_fedges, self.g_unexplored = (
+            int(x)
+            for x in self.comm.allreduce(self._frontier_stats(self.frontier))
+        )
+
+    def initial_sync(self) -> None:
+        # The pre-loop stats Allreduce seeds the first switch decision;
+        # level 1 itself always runs (the source frontier is nonempty
+        # somewhere), so no termination count is returned.
+        self._sync_stats()
+        return None
+
+    def begin_level(self, level: int) -> dict:
+        # Collective state only, so every rank flips in lockstep.  No
+        # symmetry gate: the stored matrix is A^T, so the bottom-up row
+        # scan sees in-neighbours and is exact on directed inputs too.
+        if self.direction == TOP_DOWN and should_switch_bottom_up(
+            self.g_fedges, self.g_unexplored, self.alpha
+        ):
+            self.direction = BOTTOM_UP
+        elif self.direction == BOTTOM_UP and should_switch_top_down(
+            self.g_front, self.decomp.n, self.beta
+        ):
+            self.direction = TOP_DOWN
+        return {"level": level, "direction": self.direction}
+
+    # -- level interiors ----------------------------------------------------
+    def step(self, level: int) -> LevelOutcome:
+        if self.direction == TOP_DOWN:
+            outcome = super().step(level)
+        else:
+            outcome = self._bottomup_step(level)
+        frontier = self.frontier
+        self.unexplored_edges -= (
+            int(self.piece_degrees[frontier - self.plo].sum())
+            if frontier.size
+            else 0
+        )
+        outcome.extra["direction"] = self.direction
+        return outcome
+
+    def _bottomup_step(self, level: int) -> LevelOutcome:
+        charger, obs = self.charger, self.obs
+
+        # 1. TransposeVector, exactly as top-down: frontier pieces line
+        #    up with the processor columns that will gather them.
+        transposed = self._transpose_frontier(self.frontier, level)
+
+        # 2. Expand: the column's frontier as a dense bitmap over my
+        #    column block (overlapping identical ranges OR-union to the
+        #    block's frontier mask).
+        with obs.span("bu-expand"):
+            payload = float(bitmap_words(self.col_hi - self.col_lo))
+            charger.stream(payload + float(transposed.size))
+            fmask, expand_info = self.col_channel.gather_mask(
+                transposed, level=level
+            )
+            charger.stream(float(fmask.size) / 64.0)
+
+        # 3. Completed exchange: assemble the block row's visited mask
+        #    from the vector pieces along my processor row — the
+        #    bottom-up sweep must skip rows any piece owner has already
+        #    finished.
+        with obs.span("bu-done"):
+            visited = np.flatnonzero(self.parents != -1) + self.plo
+            done_payload = float(bitmap_words(self.nloc))
+            charger.stream(done_payload + float(visited.size))
+            row_done, done_info = self.row_channel.gather_mask(
+                visited, level=level
+            )
+            charger.stream(float(row_done.size) / 64.0)
+
+        # 4. Reverse early-exit scan of the unvisited block rows against
+        #    the frontier mask.  The last frontier hit of an ascending
+        #    in-adjacency list is the maximum frontier in-neighbour in
+        #    my column block — the local (select, max) winner.
+        with obs.span("bu-scan"):
+            charger.stream(float(row_done.size))
+            blockdeg = np.diff(self.bu_indptr)
+            active = np.flatnonzero(~row_done & (blockdeg > 0))
+            counts = blockdeg[active]
+            charger.random(
+                float(active.size), ws_words=2 * max(row_done.size, 1)
+            )
+            if active.size:
+                total = int(counts.sum())
+                ends = np.cumsum(counts)
+                starts = ends - counts
+                offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                    starts, counts
+                )
+                flat = np.repeat(self.bu_indptr[active], counts) + offsets
+                targets = self.bu_cols[flat]
+                hit_pos = np.where(
+                    fmask[targets - self.col_lo],
+                    np.arange(targets.size),
+                    -1,
+                )
+                last_hit = np.maximum.reduceat(hit_pos, starts)
+                has_parent = last_hit >= 0
+                trows = (active + self.row_lo)[has_parent]
+                tvals = targets[last_hit[has_parent]]
+                # Reverse scan visits positions [last_hit, end) before
+                # exiting — the whole list when no frontier neighbour
+                # exists.
+                scanned = float(
+                    np.where(has_parent, ends - last_hit, counts).sum()
+                )
+            else:
+                trows = np.empty(0, dtype=np.int64)
+                tvals = np.empty(0, dtype=np.int64)
+                scanned = 0.0
+            charger.random(scanned, ws_words=max(1.0, float(fmask.size) / 64.0))
+            charger.stream(2.0 * scanned, edges_scanned=scanned)
+            charger.count(candidates=scanned)
+
+        # 5. Fold: the surviving local winners travel to their vector-
+        #    piece owners along the row, like any top-down fold — only
+        #    far fewer of them (one candidate per newly-found row, not
+        #    one per edge).
+        with obs.span("fold-pack"):
+            owners = self.decomp.vec_owner_col(self.grid.row, trows)
+            send, xinfo = self.row_channel.pack_pairs(trows, tvals, owners)
+            charger.intops(float(xinfo.pairs))
+            charger.count(unique_sends=float(xinfo.pairs))
+        with obs.span("fold-exchange"):
+            rv, rp = self.row_channel.exchange_pairs(send, xinfo, level=level)
+
+        # 6. Mask with pi-bar and update, exactly as top-down.
+        with obs.span("update"):
+            charger.random(float(rv.size), ws_words=float(max(self.nloc, 1)))
+            unvisited = self.parents[rv - self.plo] == -1
+            rv, rp = dedup_candidates(rv[unvisited], rp[unvisited])
+            self.parents[rv - self.plo] = rp
+            self.levels[rv - self.plo] = level
+            self.frontier = rv
+            if self.threads > 1:
+                charger.thread_merge(float(self.frontier.size))
+
+        return LevelOutcome(
+            candidates=int(scanned),
+            words_sent=int(payload + done_payload + 2 * xinfo.pairs),
+            wire_words=int(
+                expand_info.wire_words
+                + done_info.wire_words
+                + xinfo.wire_words
+            ),
+            sieve_dropped=xinfo.dropped,
+        )
+
+    # -- termination + checkpoint extras ------------------------------------
+    def termination_sync(self) -> int:
+        self._sync_stats()
+        return self.g_front
+
+    def state(self) -> dict:
+        return {
+            "direction": self.direction,
+            "unexplored_edges": self.unexplored_edges,
+            "g_front": self.g_front,
+            "g_fedges": self.g_fedges,
+            "g_unexplored": self.g_unexplored,
+            **sieve_state(self.shared_sieve),
+        }
+
+    def restore(self, snapshot: dict) -> int:
+        restore_sieve(self.shared_sieve, snapshot)
+        self.direction = snapshot["direction"]
+        self.unexplored_edges = int(snapshot["unexplored_edges"])
+        self.g_front = int(snapshot["g_front"])
+        self.g_fedges = int(snapshot["g_fedges"])
+        self.g_unexplored = int(snapshot["g_unexplored"])
+        return self.g_front

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.bfs1d import TopDown1D
 from repro.core.bfs2d import SpMSV2D, build_2d_blocks
+from repro.core.bfs2d_dirop import DirOpt2D
 from repro.core.bfs_dirop import DirOpt1D
 from repro.core.engine import traversal_body
 from repro.core.partition import Decomp2D
@@ -84,6 +85,10 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
     ),
     "2d": AlgorithmSpec("2d", False, SpMSV2D, ENGINE_CAPABILITIES),
     "2d-hybrid": AlgorithmSpec("2d", True, SpMSV2D, ENGINE_CAPABILITIES),
+    "2d-dirop": AlgorithmSpec("2d-dirop", False, DirOpt2D, ENGINE_CAPABILITIES),
+    "2d-dirop-hybrid": AlgorithmSpec(
+        "2d-dirop", True, DirOpt2D, ENGINE_CAPABILITIES
+    ),
     "pbgl": AlgorithmSpec("pbgl", False),
     "graph500-ref": AlgorithmSpec("graph500-ref", False),
 }
@@ -330,6 +335,12 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
                 codec=config.codec,
                 sieve=config.sieve,
             )
+            if spec.family == "2d-dirop":
+                step_kwargs.update(
+                    alpha=config.dirop_alpha,
+                    beta=config.dirop_beta,
+                    degrees=graph.csr.degrees(),
+                )
         if spec.step is not None:
             spmd, fault_meta = _run_resilient(
                 nranks,
@@ -435,7 +446,8 @@ def run_bfs(
     algorithm:
         One of :data:`ALGORITHMS`: ``"serial"``, ``"1d"``, ``"1d-hybrid"``,
         ``"1d-dirop"``, ``"1d-dirop-hybrid"``, ``"2d"``, ``"2d-hybrid"``,
-        ``"pbgl"``, ``"graph500-ref"``.
+        ``"2d-dirop"``, ``"2d-dirop-hybrid"``, ``"pbgl"``,
+        ``"graph500-ref"``.
     nprocs:
         Simulated MPI rank count.  2D variants use the closest square
         grid not exceeding ``nprocs`` (the paper's convention).
@@ -473,8 +485,8 @@ def run_bfs(
         rectangular formulation (square grids keep the cheaper pairwise
         vector transpose).
     dirop_alpha / dirop_beta:
-        Direction-optimizing switching thresholds (the ``1d-dirop``
-        family only): switch to bottom-up when the frontier's incident
+        Direction-optimizing switching thresholds (the ``1d-dirop`` and
+        ``2d-dirop`` families): switch to bottom-up when the frontier's incident
         edges exceed ``1/alpha`` of the unexplored edges, back to
         top-down when the frontier shrinks below ``n / beta``.  Default
         to :data:`~repro.model.costmodel.DIROP_ALPHA` /

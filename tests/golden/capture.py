@@ -18,12 +18,17 @@ pre-engine scaffolding (one hand-rolled level loop per algorithm file);
 :mod:`repro.core.engine` reproduces them bit-identically.  Regenerate
 (only when an intentional behavior change is being locked in) with::
 
-    PYTHONPATH=src python tests/golden/capture.py
+    PYTHONPATH=src python tests/golden/capture.py [family ...]
+
+Passing family names regenerates only those fixtures, so locking in a
+new algorithm (or an intentional change to one family) never rewrites
+the unrelated files.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.core import run_bfs
@@ -58,7 +63,7 @@ CONFIGS: dict[str, dict] = {
         checkpoint_every=2,
         validate=True,
     )
-    for algorithm in ("1d", "1d-dirop", "2d")
+    for algorithm in ("1d", "1d-dirop", "2d", "2d-dirop")
 }
 
 GRAPH = dict(scale=9, edgefactor=8, seed=5)
@@ -85,8 +90,15 @@ def capture(algorithm: str) -> dict:
     }
 
 
-def main() -> None:
-    for algorithm in CONFIGS:
+def main(argv: list[str] | None = None) -> None:
+    names = argv if argv is not None else sys.argv[1:]
+    names = list(names) if names else sorted(CONFIGS)
+    unknown = sorted(set(names) - set(CONFIGS))
+    if unknown:
+        raise SystemExit(
+            f"unknown families {unknown}; known: {sorted(CONFIGS)}"
+        )
+    for algorithm in names:
         fixture = capture(algorithm)
         path = GOLDEN_DIR / f"{algorithm}.json"
         path.write_text(

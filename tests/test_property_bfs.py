@@ -123,8 +123,14 @@ def test_oracle_equivalence_deterministic(algorithm, case):
 
 
 #: Families that route their exchanges through ``repro.comm``; the wire
-#: format must never change what the traversal computes.
-WIRE_ALGORITHMS = ["1d", "1d-dirop", "2d"]
+#: format must never change what the traversal computes.  Derived from
+#: the registry's declared capabilities (hybrids share their family's
+#: wire path, so the flat variant stands for both).
+WIRE_ALGORITHMS = sorted(
+    name
+    for name, spec in ALGORITHMS.items()
+    if "wire" in spec.capabilities and not spec.hybrid
+)
 
 
 @pytest.mark.parametrize("codec", ["raw", "delta-varint", "bitmap", "auto"])

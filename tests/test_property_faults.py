@@ -14,10 +14,29 @@ import numpy as np
 import pytest
 
 from repro.core import run_bfs
+from repro.core.runner import ALGORITHMS as REGISTRY
 from repro.faults import RankCrashError, random_fault_plan
 
-#: Distributed families with fault/checkpoint instrumentation.
-ALGORITHMS = ("1d", "1d-hybrid", "1d-dirop", "1d-dirop-hybrid", "2d", "2d-hybrid")
+#: Every registered algorithm with fault/checkpoint instrumentation,
+#: hybrids included — derived from the registry so a new plugin is
+#: covered the moment it lands.
+FAULT_ALGORITHMS = tuple(
+    sorted(
+        name
+        for name, spec in REGISTRY.items()
+        if "faults" in spec.capabilities
+    )
+)
+#: The flat variant of each fault-capable family carries the exhaustive
+#: crash-at-every-level sweep (hybrids share the family's checkpoint
+#: path).
+SWEEP_ALGORITHMS = tuple(
+    sorted(
+        name
+        for name, spec in REGISTRY.items()
+        if "faults" in spec.capabilities and not spec.hybrid
+    )
+)
 NPROCS = 4
 SOURCE = 5
 
@@ -29,11 +48,11 @@ def oracles(rmat_small):
         algorithm: run_bfs(
             rmat_small, SOURCE, algorithm, nprocs=NPROCS, machine="hopper"
         )
-        for algorithm in ALGORITHMS
+        for algorithm in FAULT_ALGORITHMS
     }
 
 
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("algorithm", FAULT_ALGORITHMS)
 @pytest.mark.parametrize("seed", range(3))
 def test_random_fault_schedule_recovers(rmat_small, oracles, algorithm, seed):
     oracle = oracles[algorithm]
@@ -56,7 +75,7 @@ def test_random_fault_schedule_recovers(rmat_small, oracles, algorithm, seed):
     assert meta["attempts"] == 1 + len(meta["restores"])
 
 
-@pytest.mark.parametrize("algorithm", ("1d", "1d-dirop", "2d"))
+@pytest.mark.parametrize("algorithm", SWEEP_ALGORITHMS)
 def test_crash_at_every_level_recovers(rmat_small, oracles, algorithm):
     """The acceptance sweep: a permanent loss at any level is survivable."""
     oracle = oracles[algorithm]
@@ -79,7 +98,7 @@ def test_crash_at_every_level_recovers(rmat_small, oracles, algorithm):
         assert resume is None or resume < level
 
 
-@pytest.mark.parametrize("algorithm", ("1d", "1d-dirop", "2d"))
+@pytest.mark.parametrize("algorithm", SWEEP_ALGORITHMS)
 def test_crash_without_checkpoint_aborts_cleanly(rmat_small, algorithm):
     """No checkpointing means a crash is an outage: typed abort, no hang."""
     with pytest.raises(RankCrashError, match="injected crash"):

@@ -13,7 +13,21 @@ from __future__ import annotations
 import pytest
 
 from repro.core import run_bfs
+from repro.core.runner import ALGORITHMS
 from repro.graphs.rmat import rmat_graph
+
+#: Every flat variant the registry declares a per-level trace profile
+#: for — derived dynamically, so a new plugin is covered the moment it
+#: lands (hybrids share the family's trace path).
+TRACE_ALGORITHMS = sorted(
+    name
+    for name, spec in ALGORITHMS.items()
+    if "trace-profile" in spec.capabilities and not spec.hybrid
+)
+#: The direction-optimizing subset: their levels must carry a direction.
+DIROP_TRACE_ALGORITHMS = [
+    name for name in TRACE_ALGORITHMS if "dirop" in ALGORITHMS[name].family
+]
 
 
 @pytest.fixture(scope="module")
@@ -31,9 +45,12 @@ def reached_after_source(res):
     return int((res.levels >= 1).sum())
 
 
-class TestTrace1D:
-    def test_discovered_sums_to_reached(self, graph, source):
-        res = run_bfs(graph, source, "1d", nprocs=4, trace=True)
+class TestTraceEveryAlgorithm:
+    """Registry-driven invariants: they hold for every traced plugin."""
+
+    @pytest.mark.parametrize("algorithm", TRACE_ALGORITHMS)
+    def test_discovered_sums_to_reached(self, graph, source, algorithm):
+        res = run_bfs(graph, source, algorithm, nprocs=4, trace=True)
         profile = res.meta["level_profile"]
         assert sum(lvl["discovered"] for lvl in profile) == reached_after_source(res)
         # Frontier entering level L+1 is what level L discovered.
@@ -41,6 +58,21 @@ class TestTrace1D:
             assert cur["frontier"] == prev["discovered"]
         assert profile[0]["frontier"] == 1
 
+    @pytest.mark.parametrize("algorithm", DIROP_TRACE_ALGORITHMS)
+    def test_dirop_levels_record_direction(self, graph, source, algorithm):
+        res = run_bfs(graph, source, algorithm, nprocs=4, trace=True)
+        profile = res.meta["level_profile"]
+        assert all(
+            lvl["direction"] in ("top-down", "bottom-up") for lvl in profile
+        )
+        # A dense R-MAT actually exercises both directions.
+        assert {lvl["direction"] for lvl in profile} == {
+            "top-down",
+            "bottom-up",
+        }
+
+
+class TestTrace1D:
     def test_words_sent_tracks_candidates_exactly_without_dedup(
         self, graph, source
     ):
@@ -76,11 +108,6 @@ class TestTrace1D:
 
 
 class TestTrace2D:
-    def test_discovered_sums_to_reached(self, graph, source):
-        res = run_bfs(graph, source, "2d", nprocs=4, trace=True)
-        profile = res.meta["level_profile"]
-        assert sum(lvl["discovered"] for lvl in profile) == reached_after_source(res)
-
     def test_words_sent_covers_both_exchanges(self, graph, source):
         # 2D sends the frontier along processor columns (expand) AND the
         # candidate pairs along rows (fold), so the wire traffic strictly
@@ -95,21 +122,6 @@ class TestTrace2D:
 
 
 class TestTraceDirop:
-    def test_every_level_records_direction(self, graph, source):
-        res = run_bfs(graph, source, "1d-dirop", nprocs=4, trace=True)
-        profile = res.meta["level_profile"]
-        assert all(
-            lvl["direction"] in ("top-down", "bottom-up") for lvl in profile
-        )
-        # A dense R-MAT actually exercises both directions.
-        directions = {lvl["direction"] for lvl in profile}
-        assert directions == {"top-down", "bottom-up"}
-
-    def test_discovered_sums_to_reached(self, graph, source):
-        res = run_bfs(graph, source, "1d-dirop", nprocs=4, trace=True)
-        profile = res.meta["level_profile"]
-        assert sum(lvl["discovered"] for lvl in profile) == reached_after_source(res)
-
     def test_non_dirop_traces_have_no_direction(self, graph, source):
         res = run_bfs(graph, source, "1d", nprocs=4, trace=True)
         assert all(

@@ -1125,6 +1125,70 @@ def ablation_dirop2d(quick: bool = False) -> Table:
     return table
 
 
+def query_throughput(quick: bool = False) -> Table:
+    """Batched multi-source query throughput: modeled queries/sec vs batch.
+
+    The ``repro.query`` subsystem packs up to 64 sources into one
+    bit-parallel traversal (one ``uint64`` lane word per vertex), so the
+    per-level latency terms — the Alltoallv startup and the termination
+    Allreduce — are paid once per *batch* instead of once per query.
+    This sweep runs the same source pool at batches 1..64 and reports
+    the modeled queries/sec and the speedup over unbatched operation;
+    every run validates each lane against its serial oracle, so the
+    throughput column never trades away exactness.
+    """
+    from repro.query import run_query
+
+    scale = 11 if quick else 13
+    nprocs = 4 if quick else 8
+    graph = rmat_graph(scale, 16, seed=31)
+    pool = harness.pick_sources(graph, 64, seed=6)
+    batches = [1, 4, 16, 64] if quick else [1, 2, 4, 8, 16, 32, 64]
+    table = Table(
+        title=(
+            f"Batched query throughput, msbfs-1d "
+            f"(R-MAT scale {scale}, {nprocs} ranks, Hopper model)"
+        ),
+        headers=[
+            "batch",
+            "nlevels",
+            "time/traversal (ms)",
+            "time/query (ms)",
+            "queries/s",
+            "speedup",
+        ],
+    )
+    baseline_qps = None
+    for batch in batches:
+        res = run_query(
+            graph,
+            sources=pool[:batch],
+            algorithm="msbfs-1d",
+            nprocs=nprocs,
+            machine=HOPPER,
+            validate=True,
+        )
+        qps = res.queries_per_second()
+        if baseline_qps is None:
+            baseline_qps = qps
+        table.add_row(
+            batch,
+            res.nlevels,
+            res.time_total * 1e3,
+            res.time_total / batch * 1e3,
+            qps,
+            qps / baseline_qps,
+        )
+    table.notes.append(
+        "one traversal advances all lanes at once: the frontier union of "
+        "the batch is scanned once per level and the per-level collectives "
+        "amortize across lanes, so time/traversal grows sublinearly in the "
+        "batch while time/query collapses; every lane is validated "
+        "bit-identical to its single-source serial oracle"
+    )
+    return table
+
+
 #: Experiment registry: id -> (function, description).
 EXPERIMENTS: dict[str, tuple] = {
     "fig3": (fig3_spa_vs_heap, "SPA vs heap SpMSV crossover"),
@@ -1150,6 +1214,7 @@ EXPERIMENTS: dict[str, tuple] = {
     "abl-collectives": (ablation_collectives, "ablation: collective algorithm selection"),
     "abl-symmetric": (ablation_symmetric, "ablation: triangle-only symmetric storage"),
     "abl-faults": (ablation_faults, "ablation: crash recovery vs checkpoint interval"),
+    "query-throughput": (query_throughput, "batched multi-source query throughput (1..64 lanes)"),
 }
 
 

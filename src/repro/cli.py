@@ -12,6 +12,11 @@ and runs the Graph 500 benchmark flow::
 
     repro-bench graph500 --scale 15 --algorithm 2d-hybrid --machine hopper
 
+and the batched-query flow (the ``repro.query`` algorithm zoo)::
+
+    repro-bench query --scale 13 --batch 64 --machine hopper
+    repro-bench query --algorithm cc --scale 13 --machine hopper
+
 With ``--trace-out``/``--report-out`` the graph500 flow additionally
 writes a Chrome ``trace_event`` file (open in Perfetto) and the
 machine-readable run report of the first search; reports feed the
@@ -41,7 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', 'list', or 'graph500'",
+        help=(
+            "experiment id (see 'list'), 'all', 'list', 'graph500', or "
+            "'query'"
+        ),
     )
     group = parser.add_argument_group("graph500 options")
     group.add_argument("--scale", type=int, default=14)
@@ -138,6 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(input to 'repro-bench perf-diff')"
         ),
     )
+    qgroup = parser.add_argument_group("query options")
+    qgroup.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        metavar="K",
+        help=(
+            "sources per bit-parallel traversal (1..64 lanes of one uint64 "
+            "word) for msbfs-1d/sssp-delta, or the landmark count for "
+            "landmark (default: 64)"
+        ),
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -188,6 +208,76 @@ def _run_perf_diff(argv: list[str]) -> int:
         return 2
     print(diff.render())
     return 0 if diff.ok else 1
+
+
+def _run_query_flow(args) -> int:
+    """Run one batched query (``repro.query`` zoo) from the CLI."""
+    from repro.bench.harness import pick_sources
+    from repro.core.runner import ALGORITHMS
+    from repro.graphs import rmat_graph
+    from repro.query import run_query
+
+    # "2d" is the graph500 default; the query flow's is the MS-BFS.
+    algorithm = "msbfs-1d" if args.algorithm == "2d" else args.algorithm
+    spec = ALGORITHMS.get(algorithm)
+    if spec is None or spec.kind == "bfs":
+        kinds = sorted(
+            name for name, s in ALGORITHMS.items() if s.kind != "bfs"
+        )
+        print(
+            f"query: {algorithm!r} is not a batched query algorithm; "
+            f"known: {kinds}",
+            file=sys.stderr,
+        )
+        return 2
+
+    tracer = None
+    if args.trace_out or args.report_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    graph = rmat_graph(args.scale, args.edgefactor, seed=args.seed)
+    kwargs: dict = {}
+    if spec.kind in ("msbfs", "sssp"):
+        kwargs["sources"] = pick_sources(graph, args.batch, seed=args.seed + 1)
+    elif spec.kind == "landmark":
+        kwargs["landmarks"] = args.batch
+    result = run_query(
+        graph,
+        algorithm=algorithm,
+        nprocs=args.nprocs,
+        machine=args.machine,
+        codec=args.codec,
+        trace=True,
+        tracer=tracer,
+        faults=args.fault_spec,
+        checkpoint_every=args.checkpoint_every,
+        max_retries=args.max_retries,
+        validate=True,
+        **kwargs,
+    )
+    print(
+        f"{algorithm} ({result.kind}) on {graph.name}: "
+        f"batch={result.batch} nlevels={result.nlevels} "
+        f"ranks={result.nranks}"
+    )
+    print(
+        f"  modeled time {result.time_total * 1e3:.3f} ms  "
+        f"({result.queries_per_second():.0f} queries/s, "
+        f"{result.gteps():.3f} GTEPS)"
+    )
+    if result.kind == "cc":
+        print(f"  components: {result.meta['components']}")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        print(f"wrote {write_chrome_trace(args.trace_out, tracer)}")
+    if args.report_out:
+        from repro.obs import run_report, write_run_report
+
+        report = run_report(result)
+        print(f"wrote {write_run_report(args.report_out, report)}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -241,6 +331,9 @@ def main(argv: list[str] | None = None) -> int:
             report = run_report(result.searches[0])
             print(f"wrote {write_run_report(args.report_out, report)}")
         return 0
+
+    if args.experiment == "query":
+        return _run_query_flow(args)
 
     if args.experiment == "all":
         exp_ids = list(EXPERIMENTS)

@@ -265,6 +265,131 @@ class CommChannel:
             )
         return rv, rp
 
+    # -- candidate triple exchange (batched queries: repro.query) -----------
+    def pack_triples(
+        self,
+        targets: np.ndarray,
+        values: np.ndarray,
+        extras: np.ndarray,
+        owners: np.ndarray,
+    ) -> tuple[list[np.ndarray], ExchangeInfo]:
+        """Bucket and encode ``(target, value, extra)`` candidate triples.
+
+        The batched-query steps ship one extra 64-bit column per pair:
+        the ``uint64`` lane word of a multi-source traversal (viewed as
+        int64) or the tentative distance of an SSSP relaxation.  The
+        ``(target, value)`` columns ride the configured codec exactly like
+        :meth:`pack_pairs`; the extra column travels raw behind a length
+        header so a damaged buffer is detectable (header/pair/extra sizes
+        must agree, else :class:`CodecError`).  The sieve is structurally
+        incompatible — a target legitimately re-ships whenever a *new
+        lane* reaches it — so triple sites refuse one outright, and so is
+        the bitmap codec, which collapses the duplicate targets a lane
+        batch carries.
+
+        Each bucket is canonically sorted by (target, value, extra)
+        before encoding: the raw codec preserves order and delta-varint's
+        stable (target, value) sort is then the identity, so the decoded
+        pair order always matches the raw extra column row for row.
+        """
+        if self.sieve is not None:
+            raise ValueError(
+                "sieve is unsupported for triple exchanges: lane payloads "
+                "re-ship targets whenever a new lane reaches them"
+            )
+        if self.codec.name == "bitmap":
+            raise ValueError(
+                "bitmap codec is unsupported for triple exchanges: it "
+                "collapses the duplicate targets a lane batch carries"
+            )
+        targets = np.asarray(targets, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        extras = np.asarray(extras, dtype=np.int64)
+        with self.obs.span("encode", codec=self.codec.name):
+            buckets, _counts = bucket_by_owner(
+                owners, self.comm.size, targets, values, extras
+            )
+            me = self.comm.rank
+            send: list[np.ndarray] = []
+            payload = wire = 0.0
+            for dst, (dst_targets, dst_values, dst_extras) in enumerate(buckets):
+                if dst_targets.size == 0:
+                    buf = np.empty(0, dtype=np.int64)
+                else:
+                    order = np.lexsort((dst_extras, dst_values, dst_targets))
+                    dst_targets = dst_targets[order]
+                    dst_values = dst_values[order]
+                    dst_extras = dst_extras[order]
+                    # The auto codec gets no range ctx, keeping its
+                    # per-buffer choice off the bitmap path.
+                    ctx = None if self.codec.name == "auto" else self.ranges[dst]
+                    pair_buf = self.codec.encode_pairs(
+                        dst_targets, dst_values, ctx
+                    )
+                    buf = np.concatenate(
+                        [
+                            np.array([pair_buf.size], dtype=np.int64),
+                            pair_buf,
+                            dst_extras,
+                        ]
+                    )
+                send.append(buf)
+                if dst != me:
+                    payload += 3.0 * dst_targets.size
+                    wire += float(buf.size)
+            self._charge_encode(float(targets.size), 3.0 * targets.size, wire)
+        info = ExchangeInfo(int(targets.size), payload, wire, 0)
+        return send, info
+
+    def _decode_triples_piece(
+        self, piece: np.ndarray, ctx: VertexRange
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        piece = np.asarray(piece, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        if piece.size == 0:
+            return empty, empty, empty
+        pair_words = int(piece[0])
+        if pair_words < 0 or pair_words > piece.size - 1:
+            raise CodecError(
+                f"triple buffer header claims {pair_words} pair words "
+                f"but only {piece.size - 1} words follow"
+            )
+        targets, values = self.codec.decode_pairs(piece[1 : 1 + pair_words], ctx)
+        extras = piece[1 + pair_words :]
+        if extras.size != targets.size:
+            raise CodecError(
+                f"triple buffer carries {extras.size} extra words "
+                f"for {targets.size} pairs"
+            )
+        return targets, values, extras
+
+    def exchange_triples(
+        self, send: list[np.ndarray], info: ExchangeInfo, level: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All-to-all the packed triple buffers and decode what arrives."""
+        ctx = self.ranges[self.comm.rank]
+        pieces = self._collect_with_retry(
+            "alltoallv",
+            info,
+            level,
+            lambda: self.comm.alltoallv(send),
+            lambda _r, piece: self._decode_triples_piece(piece, ctx),
+            "truncate",
+        )
+        with self.obs.span("decode", codec=self.codec.name):
+            decoded = [self._decode_triples_piece(piece, ctx) for piece in pieces]
+            if decoded:
+                rt = np.concatenate([t for t, _, _ in decoded])
+                rv = np.concatenate([v for _, v, _ in decoded])
+                rx = np.concatenate([x for _, _, x in decoded])
+            else:
+                rt = rv = rx = np.empty(0, dtype=np.int64)
+            self._charge_decode(
+                float(rt.size),
+                float(sum(np.asarray(p).size for p in pieces)),
+            )
+        return rt, rv, rx
+
     # -- frontier gathers (bottom-up expand, 2D expand) ---------------------
     def expand_bitmap(
         self, frontier: np.ndarray, level: int | None = None

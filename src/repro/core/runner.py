@@ -40,6 +40,9 @@ from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, NetworkCostModel
 from repro.model.machine import HOPPER, get_machine
 from repro.mpsim.engine import run_spmd
 from repro.mpsim.stats import SimStats
+from repro.query.cc import ConnectedComponents1D
+from repro.query.msbfs import MSBFS1D
+from repro.query.sssp import DeltaSSSP1D
 
 
 @dataclass(frozen=True)
@@ -60,12 +63,19 @@ class AlgorithmSpec:
       (``faults``/``checkpoint_every``/``max_retries`` apply);
     * ``"trace-profile"`` — per-level profile under
       ``result.meta["level_profile"]`` when ``trace=True``.
+
+    ``kind`` names the result family: ``"bfs"`` entries run through
+    :func:`run` / :func:`run_bfs`; the batched query kinds (``"msbfs"``,
+    ``"cc"``, ``"sssp"``, ``"landmark"``) run through
+    :func:`repro.query.run_query`, which owns their stitching and
+    validation.
     """
 
     family: str
     hybrid: bool
     step: type | None = None
     capabilities: frozenset = frozenset()
+    kind: str = "bfs"
 
 
 #: Everything the engine provides to its step plugins.
@@ -91,6 +101,35 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
     ),
     "pbgl": AlgorithmSpec("pbgl", False),
     "graph500-ref": AlgorithmSpec("graph500-ref", False),
+    # Batched query families (repro.query.run_query).  cc and sssp-delta
+    # carry batch state the base checkpoint does not cover, so they do
+    # not declare "faults"; msbfs-1d snapshots its full lane words.
+    "msbfs-1d": AlgorithmSpec(
+        "msbfs-1d", False, MSBFS1D, ENGINE_CAPABILITIES, kind="msbfs"
+    ),
+    "cc": AlgorithmSpec(
+        "cc",
+        False,
+        ConnectedComponents1D,
+        frozenset({"wire", "tracer", "trace-profile"}),
+        kind="cc",
+    ),
+    "sssp-delta": AlgorithmSpec(
+        "sssp-delta",
+        False,
+        DeltaSSSP1D,
+        frozenset({"wire", "tracer", "trace-profile"}),
+        kind="sssp",
+    ),
+    # landmark wraps an internal msbfs-1d run; it is an offline index
+    # build, so the fault battery covers the underlying msbfs-1d instead.
+    "landmark": AlgorithmSpec(
+        "landmark",
+        False,
+        None,
+        frozenset({"wire", "tracer", "trace-profile"}),
+        kind="landmark",
+    ),
 }
 
 
@@ -181,6 +220,12 @@ class RunConfig:
     faults: object = None
     checkpoint_every: int | None = None
     max_retries: int | None = None
+    # Batched-query fields (repro.query families only).
+    sources: tuple = ()
+    sssp_delta: int | None = None
+    weight_max: int | None = None
+    weight_seed: int | None = None
+    landmarks: int | None = None
 
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
@@ -224,7 +269,44 @@ class RunConfig:
                 f"{self.algorithm} has no fault/checkpoint instrumentation; "
                 "faults/checkpoint_every/max_retries apply to the 1d/2d families only"
             )
+        self._check_query_fields(spec)
         return ResolvedRun(config=self, spec=spec, machine=machine, threads=threads)
+
+    def _check_query_fields(self, spec: AlgorithmSpec) -> None:
+        """Gate the batched-query fields on the algorithm's kind."""
+        if spec.kind == "bfs":
+            for name in ("sources", "sssp_delta", "weight_max",
+                         "weight_seed", "landmarks"):
+                if getattr(self, name) not in ((), None):
+                    raise ValueError(
+                        f"{name} applies to the repro.query families only; "
+                        f"{self.algorithm} is a single-source BFS"
+                    )
+            return
+        if self.sieve:
+            raise ValueError(
+                f"{self.algorithm} re-ships targets whose lane words grow, "
+                "so the sender sieve would drop live updates; sieve applies "
+                "to the single-source families only"
+            )
+        codec_name = getattr(self.codec, "name", self.codec)
+        if codec_name == "bitmap" and spec.kind in ("msbfs", "sssp", "landmark"):
+            raise ValueError(
+                f"{self.algorithm} ships candidate triples, and the bitmap "
+                "codec collapses their duplicate targets; use raw, "
+                "delta-varint or auto"
+            )
+        if self.sources and spec.kind in ("cc", "landmark"):
+            raise ValueError(
+                f"{self.algorithm} picks its own sources; "
+                "sources apply to msbfs-1d/sssp-delta"
+            )
+        if spec.kind != "sssp":
+            for name in ("sssp_delta", "weight_max", "weight_seed"):
+                if getattr(self, name) is not None:
+                    raise ValueError(f"{name} applies to sssp-delta only")
+        if self.landmarks is not None and spec.kind != "landmark":
+            raise ValueError("landmarks applies to the landmark family only")
 
 
 @dataclass(frozen=True)
@@ -245,6 +327,11 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
     plus result stitching below is the same code path for every engine
     family.  :func:`run_bfs` is the keyword-API shim over this.
     """
+    if config.spec.kind != "bfs":
+        raise ValueError(
+            f"{config.algorithm} is a batched query family; "
+            "use repro.query.run_query"
+        )
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range [0, {graph.n})")
     resolved = config.resolve()
@@ -685,7 +772,10 @@ def _merge_traces(rank_traces: list[list[dict]]) -> list[dict]:
                 for key in ("frontier", "candidates", "words_sent",
                             "wire_words", "sieve_dropped", "discovered"):
                     entry[key] += t[i].get(key, 0)
-                if "direction" in t[i] and "direction" not in entry:
-                    entry["direction"] = t[i]["direction"]
+                # Collective per-level choices (traversal direction, lane
+                # count, CC batch, SSSP bucket): first rank's value stands.
+                for key in ("direction", "lanes", "batch", "bucket"):
+                    if key in t[i] and key not in entry:
+                        entry[key] = t[i][key]
         merged.append(entry)
     return merged

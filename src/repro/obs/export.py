@@ -107,8 +107,10 @@ def run_report(result, tracer: Tracer | None = None) -> dict:
     report: dict = {
         "schema": REPORT_SCHEMA,
         "graph": {
+            # shape[0] not size: batched-query results carry (n, batch)
+            # lane columns, and n must stay the vertex count.
+            "n": int(result.levels.shape[0]),
             "name": meta.get("graph"),
-            "n": int(result.levels.size),
             "m_traversed": int(result.m_traversed),
             "nlevels": int(result.nlevels),
             "source": int(result.source),
@@ -139,6 +141,9 @@ def run_report(result, tracer: Tracer | None = None) -> dict:
         "comm_comp": None,
         "imbalance": [],
     }
+    batch = getattr(result, "batch", None)
+    if batch is not None:
+        report["graph"]["batch"] = int(batch)
     if result.stats is not None:
         summary = result.stats.summary()
         summary["words_by_level"] = _stringify_levels(summary["words_by_level"])

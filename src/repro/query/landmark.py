@@ -1,0 +1,94 @@
+"""Landmark distance index: offline 64-way sweep, online O(k) estimates.
+
+The production query pattern behind the batched kernel (Sharma,
+arXiv:2003.04826 motivates it): pick up to 64 high-coverage *landmarks*,
+run one ``msbfs-1d`` traversal with all of them as sources, and cache the
+resulting ``(n, k)`` hop-distance table.  A point-to-point distance query
+then costs ``O(k)`` array ops against the cache instead of a traversal:
+
+* upper bound  ``min_L d(u, L) + d(L, v)``  (triangle inequality),
+* lower bound  ``max_L |d(u, L) - d(v, L)|``  (reverse triangle),
+
+exact whenever an endpoint *is* a landmark (its own table row is zero).
+Undirected graphs only — the bounds assume ``d(u, L) == d(L, u)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.query.msbfs import WORD_LANES
+
+#: Default landmark count; one lane word holds them all.
+DEFAULT_LANDMARKS = 16
+
+
+def select_landmarks(graph: Graph, k: int = DEFAULT_LANDMARKS) -> np.ndarray:
+    """Pick ``k`` landmarks by descending degree (ties to smaller id).
+
+    High-degree hubs cover the most shortest paths on R-MAT-like graphs
+    (the classic ALT heuristic).  Deterministic: the same graph always
+    yields the same landmark set, in selection order (lane order).  Falls
+    back to the smallest vertex ids when the graph has fewer nonisolated
+    vertices than ``k``.
+    """
+    if not 1 <= k <= WORD_LANES:
+        raise ValueError(f"landmark count must be in [1, {WORD_LANES}], got {k}")
+    k = min(k, graph.n)
+    degrees = graph.relabel_level_array(graph.csr.degrees())
+    order = np.lexsort((np.arange(graph.n, dtype=np.int64), -degrees))
+    chosen = order[degrees[order] > 0][:k]
+    if chosen.size < k:
+        rest = np.setdiff1d(
+            np.arange(graph.n, dtype=np.int64), chosen, assume_unique=False
+        )
+        chosen = np.concatenate([chosen, rest[: k - chosen.size]])
+    return chosen.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LandmarkIndex:
+    """Cached landmark table answering distance-estimation queries.
+
+    ``dist[v, i]`` is the hop distance from vertex ``v`` to
+    ``landmarks[i]`` in the caller's (original) labels, -1 when
+    unreachable.
+    """
+
+    landmarks: np.ndarray
+    dist: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return int(self.landmarks.size)
+
+    @property
+    def memory_words(self) -> int:
+        """Cache footprint in 64-bit words."""
+        return int(self.dist.size + self.landmarks.size)
+
+    def bounds(self, u: int, v: int) -> tuple[int, int]:
+        """Lower/upper bounds on ``d(u, v)``; ``(0, -1)`` when no landmark
+        reaches both endpoints (on an undirected graph that means the
+        endpoints are in different components, so the true distance is
+        infinite and the empty upper bound is honest)."""
+        if u == v:
+            return 0, 0
+        du, dv = self.dist[u], self.dist[v]
+        ok = (du >= 0) & (dv >= 0)
+        if not ok.any():
+            return 0, -1
+        du, dv = du[ok], dv[ok]
+        return int(np.abs(du - dv).max()), int((du + dv).min())
+
+    def estimate(self, u: int, v: int) -> int:
+        """Distance estimate (the upper bound; -1 when unknown).
+
+        Exact when ``u`` or ``v`` is a landmark: the landmark's own
+        column contributes ``d(u, v) + 0`` to the upper bound and the
+        reverse triangle pins the lower bound to the same value.
+        """
+        return self.bounds(u, v)[1]

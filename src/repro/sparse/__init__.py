@@ -17,7 +17,14 @@ The 2D BFS formulates each level as a sparse matrix-sparse vector product
 
 from repro.sparse.csr_matrix import CSRMatrix
 from repro.sparse.dcsc import DCSC
-from repro.sparse.semiring import SELECT_MAX, Semiring
+from repro.sparse.semiring import (
+    BIT_OR,
+    MIN_LEVEL,
+    MIN_PLUS,
+    SELECT_MAX,
+    SEMIRINGS,
+    Semiring,
+)
 from repro.sparse.spa import SPA
 from repro.sparse.spmsv import (
     SpMSVWork,
@@ -29,9 +36,13 @@ from repro.sparse.spmsv import (
 from repro.sparse.spvec import SparseVector
 
 __all__ = [
+    "BIT_OR",
     "CSRMatrix",
     "DCSC",
+    "MIN_LEVEL",
+    "MIN_PLUS",
     "SELECT_MAX",
+    "SEMIRINGS",
     "Semiring",
     "SPA",
     "SpMSVWork",

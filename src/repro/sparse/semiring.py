@@ -7,6 +7,24 @@ parents for the same row with ``max``.  Any associative, commutative,
 idempotent-friendly combine works for BFS correctness; ``max`` makes every
 kernel deterministic, so the SPA and heap paths produce bit-identical
 results (handy for Figure 3's apples-to-apples comparison).
+
+The same machinery generalizes to a *family* of traversals by swapping
+the combine (the paper's own motivation for the algebraic formulation):
+
+* :data:`SELECT_MAX` — the paper's BFS semiring;
+* :data:`BIT_OR` — bitwise OR over ``uint64`` lane words: bit *b* of a
+  payload tracks source *b* of a 64-way batched traversal, so one
+  scatter-combine advances 64 searches at once (``repro.query``'s
+  multi-source BFS and connected components);
+* :data:`MIN_LEVEL` — ``min`` over hop counts (batched level merges,
+  landmark distance tables);
+* :data:`MIN_PLUS` — the tropical semiring for shortest paths:
+  "multiplication" is weight addition (done by the caller along each
+  edge), "addition" keeps the minimum tentative distance
+  (``repro.query``'s delta-stepping-style SSSP).
+
+Every instance is registered in :data:`SEMIRINGS` so kernels, tests and
+docs can enumerate the zoo.
 """
 
 from __future__ import annotations
@@ -15,22 +33,45 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: "Infinity" for the min-combining semirings: large enough to dominate
+#: every real payload, small enough that ``identity + max_weight`` can
+#: never wrap int64 in a careless caller.
+INF = 1 << 62
+
+
+def _reduceat_runs(
+    keys: np.ndarray, values: np.ndarray, ufunc
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine ``values`` sharing a key with ``ufunc`` (stable sort + reduceat)."""
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+    starts = np.empty(keys.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=starts[1:])
+    idx = np.flatnonzero(starts)
+    return keys[idx], ufunc.reduceat(values, idx)
+
 
 @dataclass(frozen=True)
 class Semiring:
-    """Reduction semiring acting on ``int64`` payloads.
+    """Reduction semiring acting on fixed-width integer payloads.
 
     Attributes
     ----------
     name:
         Identifier used in dispatch and reports.
     identity:
-        The "zero": payload value meaning *no contribution* (must compare
-        below every real payload for ``max``-style combines).
+        The "zero": payload value meaning *no contribution* (must be
+        absorbed by :meth:`combine`: ``combine(x, identity) == x``).
     """
 
     name: str
     identity: int
+
+    #: Payload dtype of the dense accumulator and the value arrays; the
+    #: lane-word semiring overrides this with ``uint64``.
+    dtype = np.int64
 
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Element-wise combine of two payload arrays."""
@@ -88,5 +129,83 @@ class _SelectMax(Semiring):
         return keys[last], values[last]
 
 
+class _BitOr(Semiring):
+    """Bitwise-OR over ``uint64`` lane words; identity is the empty word.
+
+    The word-parallel workhorse of :mod:`repro.query`: bit *b* of every
+    payload belongs to batched source *b*, and one OR combines all 64
+    lanes' reachability at once.
+    """
+
+    dtype = np.uint64
+
+    def __init__(self):
+        super().__init__(name="bit-or", identity=0)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.bitwise_or(a, b)
+
+    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
+        np.bitwise_or.at(dense, positions, values)
+
+    def reduce_sorted_runs(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if keys.size == 0:
+            return keys, values
+        return _reduceat_runs(keys, values, np.bitwise_or)
+
+
+class _MinCombine(Semiring):
+    """Shared ``min`` combine for the level- and distance-merging semirings."""
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.minimum(a, b)
+
+    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
+        np.minimum.at(dense, positions, values)
+
+    def reduce_sorted_runs(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if keys.size == 0:
+            return keys, values
+        return _reduceat_runs(keys, values, np.minimum)
+
+
+class _MinLevel(_MinCombine):
+    """``min`` over hop counts: merges batched BFS levels and landmark tables."""
+
+    def __init__(self):
+        super().__init__(name="min-level", identity=INF)
+
+
+class _MinPlus(_MinCombine):
+    """Tropical semiring: callers add edge weights, the combine keeps the min.
+
+    The "multiplication" (``dist[u] + w(u, v)``) happens at the call
+    site while enumerating nonzeros — exactly how the BFS kernels attach
+    the parent payload — so this class only owns the additive ``min``.
+    """
+
+    def __init__(self):
+        super().__init__(name="min-plus", identity=INF)
+
+
 #: Singleton instance used throughout the 2D algorithm.
 SELECT_MAX = _SelectMax()
+
+#: Bitwise-OR lane-word semiring (64-way batched traversals).
+BIT_OR = _BitOr()
+
+#: Min-over-levels semiring (batched level / landmark-table merges).
+MIN_LEVEL = _MinLevel()
+
+#: Tropical (min, +) semiring (delta-stepping-style SSSP).
+MIN_PLUS = _MinPlus()
+
+#: Registry of every shipped semiring, keyed by name; the property tests
+#: sweep this so a new semiring is algebra-checked the moment it lands.
+SEMIRINGS: dict[str, Semiring] = {
+    s.name: s for s in (SELECT_MAX, BIT_OR, MIN_LEVEL, MIN_PLUS)
+}

@@ -8,7 +8,10 @@ the polyalgorithm switches to the heap kernel at scale.
 
 The batched interface (:meth:`SPA.accumulate`) is the vectorized
 equivalent of scattering one candidate at a time; the combine is the
-(select, max) semiring so results are deterministic.
+(select, max) semiring so results are deterministic.  The dense vector
+takes its dtype from the semiring, so the same accumulator forms lane
+unions over ``uint64`` words for the 64-way batched traversals of
+:mod:`repro.query`.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ class SPA:
             raise ValueError(f"length must be >= 0, got {length}")
         self.length = length
         self.semiring = semiring
-        self._dense = np.full(length, semiring.identity, dtype=np.int64)
+        self._dense = np.full(length, semiring.identity, dtype=semiring.dtype)
         self._touched: list[np.ndarray] = []
 
     @property
@@ -37,7 +40,7 @@ class SPA:
     def accumulate(self, positions: np.ndarray, values: np.ndarray) -> None:
         """Scatter-combine a batch of (position, value) contributions."""
         positions = np.asarray(positions, dtype=np.int64)
-        values = np.asarray(values, dtype=np.int64)
+        values = np.asarray(values, dtype=self.semiring.dtype)
         if positions.shape != values.shape:
             raise ValueError("positions/values must be equal length")
         if positions.size == 0:
@@ -56,8 +59,10 @@ class SPA:
         end of the iteration" — that sort happens here.
         """
         if not self._touched:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=self.semiring.dtype),
+            )
         touched = np.unique(np.concatenate(self._touched))
         return touched, self._dense[touched]
 

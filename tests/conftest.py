@@ -50,3 +50,43 @@ def make_disconnected_graph() -> Graph:
     src = np.array([0, 1, 2, 3], dtype=np.int64)
     dst = np.array([1, 2, 0, 4], dtype=np.int64)
     return Graph.from_edges(6, src, dst, shuffle=False, name="disconnected")
+
+
+def query_sources(graph: Graph, source: int, k: int = 4) -> list[int]:
+    """Deterministic batch anchored at ``source``: k distinct vertex ids."""
+    return [(source + i) % graph.n for i in range(min(k, graph.n))]
+
+
+def launch_any(graph: Graph, source: int, algorithm: str, *, batch: int = 4, **kwargs):
+    """Kind-dispatching launcher for registry-driven sweeps.
+
+    The harnesses parametrize over the whole ``ALGORITHMS`` registry;
+    BFS entries run through :func:`repro.core.run_bfs` and the batched
+    query kinds through :func:`repro.query.run_query` with a
+    deterministic source batch derived from ``source``, so one helper
+    covers every entry — current and future — without per-name branches
+    in the tests.
+    """
+    from repro.core import run_bfs
+    from repro.core.runner import ALGORITHMS
+    from repro.query import run_query
+
+    kind = ALGORITHMS[algorithm].kind
+    if kind == "bfs":
+        return run_bfs(graph, source, algorithm, **kwargs)
+    if kind == "msbfs":
+        return run_query(
+            graph,
+            sources=query_sources(graph, source, batch),
+            algorithm=algorithm,
+            **kwargs,
+        )
+    if kind == "sssp":
+        return run_query(graph, sources=[source], algorithm=algorithm, **kwargs)
+    if kind == "cc":
+        return run_query(graph, algorithm=algorithm, **kwargs)
+    if kind == "landmark":
+        return run_query(
+            graph, algorithm=algorithm, landmarks=min(batch, graph.n), **kwargs
+        )
+    raise ValueError(f"unknown algorithm kind {kind!r}")  # pragma: no cover

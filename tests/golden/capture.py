@@ -32,8 +32,10 @@ import sys
 from pathlib import Path
 
 from repro.core import run_bfs
+from repro.core.runner import ALGORITHMS
 from repro.graphs import rmat_graph
 from repro.obs import Tracer, chrome_trace, run_report
+from repro.query import run_query
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
@@ -66,24 +68,60 @@ CONFIGS: dict[str, dict] = {
     for algorithm in ("1d", "1d-dirop", "2d", "2d-dirop")
 }
 
+#: The batched query families ride the same harness — everything on at
+#: once except the sieve (structurally refused for triple-shipping
+#: kinds, so the key is absent rather than False).
+CONFIGS["msbfs-1d"] = dict(
+    algorithm="msbfs-1d",
+    nprocs=4,
+    machine="hopper",
+    codec="delta-varint",
+    trace=True,
+    faults=FAULT_SPEC,
+    checkpoint_every=2,
+    validate=True,
+)
+
 GRAPH = dict(scale=9, edgefactor=8, seed=5)
 SOURCE_SEED = 3
+QUERY_BATCH = 8
 
 
 def capture(algorithm: str) -> dict:
-    """Run one fixture configuration and freeze its observables."""
+    """Run one fixture configuration and freeze its observables.
+
+    Dispatches on the registry kind: single-source BFS families run
+    through ``run_bfs`` and freeze flat ``parents``/``levels`` lists;
+    query families run through ``run_query`` with a deterministic source
+    batch and freeze the 2-D lane arrays (``source`` holds the batch).
+    """
     graph = rmat_graph(GRAPH["scale"], GRAPH["edgefactor"], seed=GRAPH["seed"])
-    source = int(graph.random_nonisolated_vertices(1, seed=SOURCE_SEED)[0])
     tracer = Tracer()
     config = dict(CONFIGS[algorithm])
     algorithm = config.pop("algorithm")
-    result = run_bfs(graph, source, algorithm, tracer=tracer, **config)
+    if ALGORITHMS[algorithm].kind == "bfs":
+        source = int(graph.random_nonisolated_vertices(1, seed=SOURCE_SEED)[0])
+        result = run_bfs(graph, source, algorithm, tracer=tracer, **config)
+    else:
+        source = [
+            int(s)
+            for s in graph.random_nonisolated_vertices(
+                QUERY_BATCH, seed=SOURCE_SEED
+            )
+        ]
+        result = run_query(
+            graph,
+            sources=source,
+            algorithm=algorithm,
+            tracer=tracer,
+            **config,
+        )
     return {
         "graph": dict(GRAPH),
         "source": source,
         "config": {"algorithm": algorithm, **config},
-        "parents": [int(p) for p in result.parents],
-        "levels": [int(lvl) for lvl in result.levels],
+        "parents": result.parents.tolist(),
+        "levels": result.levels.tolist(),
         "report": run_report(result),
         "level_profile": result.meta["level_profile"],
         "trace_events": chrome_trace(tracer)["traceEvents"],

@@ -60,7 +60,14 @@ class TestGoldenParity:
         parity guarantee."""
         golden = committed(algorithm)
         config = golden["config"]
-        assert config["codec"] == "delta-varint" and config["sieve"]
+        assert config["codec"] == "delta-varint"
+        if capture.ALGORITHMS[algorithm].kind == "bfs":
+            assert config["sieve"]
+        else:
+            # Query kinds refuse the sieve structurally; the fixture must
+            # omit it (not carry sieve=False) and batch several sources.
+            assert "sieve" not in config
+            assert len(golden["source"]) > 1
         assert config["trace"] and config["checkpoint_every"] == 2
         assert "crash:" in config["faults"]
         assert golden["report"]["faults"]["attempts"] >= 2  # crash fired

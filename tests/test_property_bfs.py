@@ -11,12 +11,107 @@ from repro.core import bfs_serial, run_bfs, validate_bfs
 from repro.core.runner import ALGORITHMS
 from repro.graphs import Graph, erdos_renyi_edges
 from repro.graphs.rmat import rmat_graph
+from repro.query import edge_weights, run_query, sssp_serial
+
+from tests.conftest import query_sources
 
 networkx = pytest.importorskip("networkx")
 
 #: Every registered algorithm, serial included: the equivalence harness
 #: must cover new variants the moment they land in the registry.
 ALL_ALGORITHMS = sorted(ALGORITHMS)
+
+
+# -- kind-aware oracle checks -------------------------------------------------
+#
+# The registry carries algorithm families whose results are not a
+# single-source (levels, parents) pair; each kind gets its own oracle
+# comparison and the sweeps below dispatch through ORACLE_CHECKS, so a
+# new family plugs into the equivalence harness by adding one entry.
+
+def _check_bfs(graph, source, algorithm, nprocs, **kwargs):
+    ref = run_bfs(graph, source, "serial")
+    res = run_bfs(graph, source, algorithm, nprocs=nprocs, validate=True, **kwargs)
+    assert np.array_equal(res.levels, ref.levels)
+    assert np.array_equal(res.parents, ref.parents)
+
+
+def _check_msbfs(graph, source, algorithm, nprocs, **kwargs):
+    """Every lane of the batched run equals its own serial traversal."""
+    sources = query_sources(graph, source, 4)
+    res = run_query(
+        graph, sources=sources, algorithm=algorithm, nprocs=nprocs,
+        validate=True, **kwargs,
+    )
+    for b, s in enumerate(sources):
+        ref = run_bfs(graph, s, "serial")
+        assert np.array_equal(res.levels[:, b], ref.levels), f"lane {b}"
+        assert np.array_equal(res.parents[:, b], ref.parents), f"lane {b}"
+
+
+def _cc_oracle(graph):
+    """Component labels by repeated serial BFS, in original labels."""
+    comp = np.full(graph.n, -1, dtype=np.int64)
+    for v in range(graph.n):
+        if comp[v] < 0:
+            comp[run_bfs(graph, v, "serial").levels >= 0] = v
+    return comp
+
+
+def _check_cc(graph, source, algorithm, nprocs, **kwargs):
+    res = run_query(
+        graph, algorithm=algorithm, nprocs=nprocs, validate=True, **kwargs
+    )
+    assert np.array_equal(res.parents, _cc_oracle(graph))
+
+
+def _check_sssp(graph, source, algorithm, nprocs, **kwargs):
+    res = run_query(
+        graph, sources=[source], algorithm=algorithm, nprocs=nprocs,
+        validate=True, **kwargs,
+    )
+    src_internal = int(np.asarray(graph.to_internal(source)))
+    ref_dist, ref_par = sssp_serial(graph.csr, src_internal, edge_weights(graph.csr))
+    assert np.array_equal(res.levels[:, 0], graph.relabel_level_array(ref_dist))
+    assert np.array_equal(res.parents[:, 0], graph.relabel_vertex_array(ref_par))
+
+
+def _check_landmark(graph, source, algorithm, nprocs, **kwargs):
+    res = run_query(
+        graph, algorithm=algorithm, nprocs=nprocs,
+        landmarks=min(4, graph.n), validate=True, **kwargs,
+    )
+    index = res.meta["index"]
+    for i, lm in enumerate(map(int, index.landmarks)):
+        ref = run_bfs(graph, lm, "serial")
+        assert np.array_equal(res.levels[:, i], ref.levels), f"landmark {i}"
+        # Bounds are exact when an endpoint is a landmark.
+        lb, ub = index.bounds(lm, source)
+        d = int(ref.levels[source])
+        if d >= 0:
+            assert lb == d == ub
+        else:
+            assert ub == -1
+
+
+ORACLE_CHECKS = {
+    "bfs": _check_bfs,
+    "msbfs": _check_msbfs,
+    "cc": _check_cc,
+    "sssp": _check_sssp,
+    "landmark": _check_landmark,
+}
+
+
+def check_against_oracle(graph, source, algorithm, nprocs, **kwargs):
+    ORACLE_CHECKS[ALGORITHMS[algorithm].kind](
+        graph, source, algorithm, nprocs, **kwargs
+    )
+
+
+def test_every_kind_has_an_oracle_check():
+    """A registry entry with a new kind must extend ORACLE_CHECKS."""
+    assert {spec.kind for spec in ALGORITHMS.values()} <= set(ORACLE_CHECKS)
 
 
 @st.composite
@@ -68,13 +163,10 @@ def test_serial_levels_match_networkx(case):
     st.sampled_from([3, 4]),
 )
 def test_distributed_equals_serial(case, algorithm, nprocs):
-    """EVERY registered algorithm produces the serial levels and parents,
+    """EVERY registered algorithm matches its kind's serial oracle,
     on arbitrary random graphs and rank counts that do not divide n."""
     graph, source, _ = case
-    ref = run_bfs(graph, source, "serial")
-    res = run_bfs(graph, source, algorithm, nprocs=nprocs, validate=True)
-    assert np.array_equal(res.levels, ref.levels)
-    assert np.array_equal(res.parents, ref.parents)
+    check_against_oracle(graph, source, algorithm, nprocs)
 
 
 def _er_graph(n, avg_degree, seed):
@@ -112,14 +204,11 @@ ORACLE_CASES = {
 def test_oracle_equivalence_deterministic(algorithm, case):
     """Deterministic spot checks behind the hypothesis sweep: ER and
     R-MAT instances, disconnected graphs, an isolated source, and a rank
-    count that does not divide n — all algorithms, valid parent trees,
-    identical level arrays."""
+    count that does not divide n — all algorithms against their kind's
+    oracle."""
     graph, source = ORACLE_CASES[case]
-    ref = run_bfs(graph, source, "serial")
     for nprocs in (1, 3):
-        res = run_bfs(graph, source, algorithm, nprocs=nprocs, validate=True)
-        assert np.array_equal(res.levels, ref.levels), (case, nprocs)
-        assert np.array_equal(res.parents, ref.parents), (case, nprocs)
+        check_against_oracle(graph, source, algorithm, nprocs)
 
 
 #: Families that route their exchanges through ``repro.comm``; the wire
@@ -137,22 +226,27 @@ WIRE_ALGORITHMS = sorted(
 @pytest.mark.parametrize("algorithm", WIRE_ALGORITHMS)
 @pytest.mark.parametrize("case", ["rmat", "disconnected"])
 def test_codecs_preserve_oracle_equivalence(codec, algorithm, case):
-    """Every codec (with the sieve on, the most invasive configuration)
-    leaves levels and parents bit-identical to the serial oracle, for
-    every algorithm family that ships through the comm channel."""
+    """Every codec (for BFS kinds with the sieve on, the most invasive
+    configuration) leaves the result bit-identical to the kind's oracle,
+    for every algorithm family that ships through the comm channel.  The
+    query kinds refuse the sieve structurally, and the triple-shipping
+    kinds refuse the bitmap codec — both asserted here instead."""
     graph, source = ORACLE_CASES[case]
-    ref = run_bfs(graph, source, "serial")
-    res = run_bfs(
-        graph,
-        source,
-        algorithm,
-        nprocs=3,
-        codec=codec,
-        sieve=True,
-        validate=True,
-    )
-    assert np.array_equal(res.levels, ref.levels), (codec, algorithm, case)
-    assert np.array_equal(res.parents, ref.parents), (codec, algorithm, case)
+    kind = ALGORITHMS[algorithm].kind
+    if kind == "bfs":
+        check_against_oracle(
+            graph, source, algorithm, 3, codec=codec, sieve=True
+        )
+        return
+    with pytest.raises(ValueError, match="sieve"):
+        check_against_oracle(
+            graph, source, algorithm, 3, codec=codec, sieve=True
+        )
+    if codec == "bitmap" and kind in ("msbfs", "sssp", "landmark"):
+        with pytest.raises(ValueError, match="bitmap"):
+            check_against_oracle(graph, source, algorithm, 3, codec=codec)
+        return
+    check_against_oracle(graph, source, algorithm, 3, codec=codec)
 
 
 @settings(max_examples=40, deadline=None)

@@ -17,6 +17,8 @@ from repro.core import run_bfs
 from repro.core.runner import ALGORITHMS as REGISTRY
 from repro.faults import RankCrashError, random_fault_plan
 
+from tests.conftest import launch_any
+
 #: Every registered algorithm with fault/checkpoint instrumentation,
 #: hybrids included — derived from the registry so a new plugin is
 #: covered the moment it lands.
@@ -43,9 +45,11 @@ SOURCE = 5
 
 @pytest.fixture(scope="module")
 def oracles(rmat_small):
-    """Fault-free reference runs, one per algorithm."""
+    """Fault-free reference runs, one per algorithm.  ``launch_any``
+    dispatches by registry kind, so the batched query families (2-D lane
+    results) ride the same battery as the single-source BFS entries."""
     return {
-        algorithm: run_bfs(
+        algorithm: launch_any(
             rmat_small, SOURCE, algorithm, nprocs=NPROCS, machine="hopper"
         )
         for algorithm in FAULT_ALGORITHMS
@@ -59,7 +63,7 @@ def test_random_fault_schedule_recovers(rmat_small, oracles, algorithm, seed):
     plan = random_fault_plan(
         seed, nranks=NPROCS, max_level=max(2, oracle.nlevels - 1)
     )
-    result = run_bfs(
+    result = launch_any(
         rmat_small,
         SOURCE,
         algorithm,
@@ -80,7 +84,7 @@ def test_crash_at_every_level_recovers(rmat_small, oracles, algorithm):
     """The acceptance sweep: a permanent loss at any level is survivable."""
     oracle = oracles[algorithm]
     for level in range(1, oracle.nlevels + 1):
-        result = run_bfs(
+        result = launch_any(
             rmat_small,
             SOURCE,
             algorithm,
@@ -102,7 +106,7 @@ def test_crash_at_every_level_recovers(rmat_small, oracles, algorithm):
 def test_crash_without_checkpoint_aborts_cleanly(rmat_small, algorithm):
     """No checkpointing means a crash is an outage: typed abort, no hang."""
     with pytest.raises(RankCrashError, match="injected crash"):
-        run_bfs(
+        launch_any(
             rmat_small,
             SOURCE,
             algorithm,

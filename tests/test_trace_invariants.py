@@ -16,6 +16,8 @@ from repro.core import run_bfs
 from repro.core.runner import ALGORITHMS
 from repro.graphs.rmat import rmat_graph
 
+from tests.conftest import launch_any
+
 #: Every flat variant the registry declares a per-level trace profile
 #: for — derived dynamically, so a new plugin is covered the moment it
 #: lands (hybrids share the family's trace path).
@@ -27,6 +29,15 @@ TRACE_ALGORITHMS = sorted(
 #: The direction-optimizing subset: their levels must carry a direction.
 DIROP_TRACE_ALGORITHMS = [
     name for name in TRACE_ALGORITHMS if "dirop" in ALGORITHMS[name].family
+]
+#: Split by result kind: the single-source BFS entries keep the exact
+#: discovered/frontier bookkeeping; the batched query kinds have their
+#: own (weaker but still structural) invariants below.
+BFS_TRACE_ALGORITHMS = [
+    name for name in TRACE_ALGORITHMS if ALGORITHMS[name].kind == "bfs"
+]
+QUERY_TRACE_ALGORITHMS = [
+    name for name in TRACE_ALGORITHMS if ALGORITHMS[name].kind != "bfs"
 ]
 
 
@@ -48,7 +59,7 @@ def reached_after_source(res):
 class TestTraceEveryAlgorithm:
     """Registry-driven invariants: they hold for every traced plugin."""
 
-    @pytest.mark.parametrize("algorithm", TRACE_ALGORITHMS)
+    @pytest.mark.parametrize("algorithm", BFS_TRACE_ALGORITHMS)
     def test_discovered_sums_to_reached(self, graph, source, algorithm):
         res = run_bfs(graph, source, algorithm, nprocs=4, trace=True)
         profile = res.meta["level_profile"]
@@ -57,6 +68,47 @@ class TestTraceEveryAlgorithm:
         for prev, cur in zip(profile, profile[1:]):
             assert cur["frontier"] == prev["discovered"]
         assert profile[0]["frontier"] == 1
+
+    @pytest.mark.parametrize("algorithm", QUERY_TRACE_ALGORITHMS)
+    def test_query_profile_invariants(self, graph, source, algorithm):
+        """Kind-specific structure of the batched query families' traces.
+
+        ``discovered`` counts *vertices* whose state changed at a level,
+        so for the lane kinds it is bracketed by the distinct reached
+        vertices (below) and the reached (vertex, lane) pairs (above);
+        frontier continuity holds everywhere except across a CC batch
+        reseed, which restarts the frontier from the next seed set.
+        """
+        res = launch_any(graph, source, algorithm, nprocs=4, trace=True, batch=8)
+        profile = res.meta["level_profile"]
+        kind = ALGORITHMS[algorithm].kind
+        total_discovered = sum(lvl["discovered"] for lvl in profile)
+        if kind in ("msbfs", "landmark"):
+            lane_pairs = int((res.levels >= 1).sum())
+            reached = int((res.levels >= 1).any(axis=1).sum())
+            assert reached <= total_discovered <= lane_pairs
+            for prev, cur in zip(profile, profile[1:]):
+                assert cur["frontier"] == prev["discovered"]
+            assert profile[0]["frontier"] == len(set(map(int, res.sources)))
+            assert all(lvl["lanes"] == res.batch for lvl in profile)
+        elif kind == "sssp":
+            assert total_discovered >= int((res.levels[:, 0] >= 1).sum())
+            for prev, cur in zip(profile, profile[1:]):
+                assert cur["frontier"] == prev["discovered"]
+            assert profile[0]["frontier"] == 1
+            # Nonnegative weights make delta-stepping's buckets monotone.
+            buckets = [lvl["bucket"] for lvl in profile]
+            assert buckets == sorted(buckets)
+        elif kind == "cc":
+            batches = [lvl["batch"] for lvl in profile]
+            assert batches == sorted(batches)
+            for prev, cur in zip(profile, profile[1:]):
+                if cur["batch"] == prev["batch"]:
+                    assert cur["frontier"] == prev["discovered"]
+                else:
+                    assert cur["batch"] == prev["batch"] + 1
+        else:  # pragma: no cover - new kind must add an invariant branch
+            raise AssertionError(f"no trace invariants for kind {kind!r}")
 
     @pytest.mark.parametrize("algorithm", DIROP_TRACE_ALGORITHMS)
     def test_dirop_levels_record_direction(self, graph, source, algorithm):

@@ -17,13 +17,18 @@ and the batched-query flow (the ``repro.query`` algorithm zoo)::
     repro-bench query --scale 13 --batch 64 --machine hopper
     repro-bench query --algorithm cc --scale 13 --machine hopper
 
-With ``--trace-out``/``--report-out`` the graph500 flow additionally
-writes a Chrome ``trace_event`` file (open in Perfetto) and the
-machine-readable run report of the first search; reports feed the
-perf-regression gate::
+With ``--trace-out``/``--report-out`` the graph500 and query flows
+additionally write a Chrome ``trace_event`` file (open in Perfetto) and
+the machine-readable run report of the first search; reports feed the
+perf-regression gate and the cross-run trajectory analyzer::
 
     repro-bench graph500 --scale 13 --report-out base.json
     repro-bench perf-diff base.json candidate.json --threshold 0.05
+    repro-bench trajectory benchmarks/ --candidate candidate.json
+
+``--events-out``/``--flamegraph-out``/``--metrics-out`` add the JSONL
+event log, the collapsed-stack flamegraph (speedscope/flamegraph.pl)
+and the OpenMetrics counter exposition of the same search.
 """
 
 from __future__ import annotations
@@ -146,6 +151,35 @@ def build_parser() -> argparse.ArgumentParser:
             "(input to 'repro-bench perf-diff')"
         ),
     )
+    group.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the schema-versioned JSONL event log of the first "
+            "search (run/level/span/fault/checkpoint/metric events, one "
+            "JSON object per line, ordered by virtual time)"
+        ),
+    )
+    group.add_argument(
+        "--flamegraph-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a collapsed-stack profile of the first search "
+            "(virtual self-time in microseconds; load in speedscope or "
+            "flamegraph.pl)"
+        ),
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the metrics registry of the first search as "
+            "OpenMetrics text exposition"
+        ),
+    )
     qgroup = parser.add_argument_group("query options")
     qgroup.add_argument(
         "--batch",
@@ -210,6 +244,130 @@ def _run_perf_diff(argv: list[str]) -> int:
     return 0 if diff.ok else 1
 
 
+def build_trajectory_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench trajectory",
+        description=(
+            "Aggregate a series of committed run reports (BENCH_*.json) "
+            "into per-metric time series, gate the newest point against "
+            "the trajectory's median, and report changepoints."
+        ),
+    )
+    parser.add_argument(
+        "baselines",
+        nargs="+",
+        help=(
+            "run-report files, directories (their BENCH_*.json, sorted by "
+            "name) or glob patterns, oldest first"
+        ),
+    )
+    parser.add_argument(
+        "--candidate",
+        default=None,
+        metavar="FILE",
+        help=(
+            "fresh run report appended as the newest point; this is what "
+            "the gate judges (default: the series' last point)"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed relative drift on gated metrics (default: 0.05)",
+    )
+    parser.add_argument(
+        "--markdown-out",
+        default=None,
+        metavar="FILE",
+        help="also write the dashboard as GitHub-flavored markdown",
+    )
+    parser.add_argument(
+        "--html-out",
+        default=None,
+        metavar="FILE",
+        help="also write the dashboard as a self-contained HTML page",
+    )
+    return parser
+
+
+def _run_trajectory(argv: list[str]) -> int:
+    from repro.obs.regress import DEFAULT_THRESHOLD
+    from repro.obs.trajectory import analyze_trajectory
+
+    args = build_trajectory_parser().parse_args(argv)
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    try:
+        trajectory = analyze_trajectory(
+            args.baselines, candidate=args.candidate, threshold=threshold
+        )
+    except (OSError, ValueError) as exc:
+        print(f"trajectory: {exc}", file=sys.stderr)
+        return 2
+    print(trajectory.render())
+    from pathlib import Path
+
+    if args.markdown_out:
+        path = Path(args.markdown_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(trajectory.render_markdown())
+        print(f"wrote {path}")
+    if args.html_out:
+        path = Path(args.html_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(trajectory.render_html())
+        print(f"wrote {path}")
+    return 0 if trajectory.ok else 1
+
+
+def _obs_handles(args):
+    """Tracer/metrics-registry pair implied by the requested outputs.
+
+    Spans feed the trace/report/events/flamegraph files; the metrics
+    registry feeds the OpenMetrics file and the report/event-log
+    snapshots.  Neither costs anything when no output asks for it.
+    """
+    tracer = registry = None
+    if args.trace_out or args.report_out or args.events_out or args.flamegraph_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics_out or args.report_out or args.events_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    return tracer, registry
+
+
+def _write_obs_artifacts(args, result, tracer, registry) -> None:
+    """Write every requested observability artifact of one run."""
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        print(f"wrote {write_chrome_trace(args.trace_out, tracer)}")
+    if args.report_out:
+        from repro.obs import run_report, write_run_report
+
+        print(f"wrote {write_run_report(args.report_out, run_report(result))}")
+    if args.events_out:
+        from repro.obs import write_events_jsonl
+
+        count = write_events_jsonl(args.events_out, result)
+        print(f"wrote {args.events_out} ({count} events)")
+    if args.flamegraph_out:
+        from repro.obs import write_flamegraph
+
+        count = write_flamegraph(args.flamegraph_out, result)
+        print(f"wrote {args.flamegraph_out} ({count} stacks)")
+    if args.metrics_out:
+        from pathlib import Path
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(registry.render_openmetrics())
+        print(f"wrote {path}")
+
+
 def _run_query_flow(args) -> int:
     """Run one batched query (``repro.query`` zoo) from the CLI."""
     from repro.bench.harness import pick_sources
@@ -231,11 +389,7 @@ def _run_query_flow(args) -> int:
         )
         return 2
 
-    tracer = None
-    if args.trace_out or args.report_out:
-        from repro.obs import Tracer
-
-        tracer = Tracer()
+    tracer, registry = _obs_handles(args)
     graph = rmat_graph(args.scale, args.edgefactor, seed=args.seed)
     kwargs: dict = {}
     if spec.kind in ("msbfs", "sssp"):
@@ -250,6 +404,7 @@ def _run_query_flow(args) -> int:
         codec=args.codec,
         trace=True,
         tracer=tracer,
+        metrics=registry,
         faults=args.fault_spec,
         checkpoint_every=args.checkpoint_every,
         max_retries=args.max_retries,
@@ -268,15 +423,7 @@ def _run_query_flow(args) -> int:
     )
     if result.kind == "cc":
         print(f"  components: {result.meta['components']}")
-    if args.trace_out:
-        from repro.obs import write_chrome_trace
-
-        print(f"wrote {write_chrome_trace(args.trace_out, tracer)}")
-    if args.report_out:
-        from repro.obs import run_report, write_run_report
-
-        report = run_report(result)
-        print(f"wrote {write_run_report(args.report_out, report)}")
+    _write_obs_artifacts(args, result, tracer, registry)
     return 0
 
 
@@ -284,9 +431,11 @@ def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     # The main parser's positional would swallow the report paths, so the
-    # perf-diff subcommand is dispatched before it.
+    # perf-diff/trajectory subcommands are dispatched before it.
     if argv and argv[0] == "perf-diff":
         return _run_perf_diff(argv[1:])
+    if argv and argv[0] == "trajectory":
+        return _run_trajectory(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
@@ -298,11 +447,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "graph500":
         from repro.graph500 import run_graph500
 
-        tracer = None
-        if args.trace_out or args.report_out:
-            from repro.obs import Tracer
-
-            tracer = Tracer()
+        tracer, registry = _obs_handles(args)
         result = run_graph500(
             scale=args.scale,
             edgefactor=args.edgefactor,
@@ -316,20 +461,14 @@ def main(argv: list[str] | None = None) -> int:
             dirop_alpha=args.dirop_alpha,
             dirop_beta=args.dirop_beta,
             tracer=tracer,
+            metrics=registry,
             faults=args.fault_spec,
             checkpoint_every=args.checkpoint_every,
             max_retries=args.max_retries,
         )
         print(result.report())
-        if args.trace_out:
-            from repro.obs import write_chrome_trace
-
-            print(f"wrote {write_chrome_trace(args.trace_out, tracer)}")
-        if args.report_out:
-            from repro.obs import run_report, write_run_report
-
-            report = run_report(result.searches[0])
-            print(f"wrote {write_run_report(args.report_out, report)}")
+        # Observability artifacts describe the first (traced) search.
+        _write_obs_artifacts(args, result.searches[0], tracer, registry)
         return 0
 
     if args.experiment == "query":

@@ -40,6 +40,7 @@ from repro.faults.injection import (
     UndetectedCorruptionError,
     corrupt_pieces,
 )
+from repro.obs.metrics import NULL_RANK_METRICS
 from repro.obs.tracer import NULL_RANK_TRACER
 
 #: Bytes per boolean in the sieve's ``seen`` array; its random-access
@@ -88,6 +89,7 @@ class CommChannel:
         sieve: Sieve | None = None,
         charger=None,
         tracer=None,
+        metrics=None,
         faults=None,
     ):
         if len(ranges) != comm.size:
@@ -102,6 +104,10 @@ class CommChannel:
         #: Per-rank span recorder (a :class:`repro.obs.RankTracer`); the
         #: shared no-op handle when the run is untraced.
         self.obs = tracer if tracer is not None else NULL_RANK_TRACER
+        #: Per-rank metrics handle (a :class:`repro.obs.RankMetrics`);
+        #: the shared no-op handle when the run is unmetered.  Passive:
+        #: counters never touch the clocks or the wire.
+        self.metrics = metrics if metrics is not None else NULL_RANK_METRICS
         #: Per-rank fault handle (a :class:`repro.faults.RankFaults`); the
         #: shared no-op handle when no faults are injected.  One poll per
         #: collective on the fault-free path — zero charges, bit parity.
@@ -132,6 +138,14 @@ class CommChannel:
             level=level,
             dropped=float(info.dropped),
         )
+        # One metrics sample per recorded attempt — the same cadence as
+        # record_channel, so counter totals reconcile exactly against
+        # SimStats.wire_words()/payload_words() even under fault retries.
+        m = self.metrics
+        m.inc("comm_exchanges", 1.0, kind=kind)
+        m.inc("comm_payload_words", info.payload_words, kind=kind)
+        m.inc("comm_wire_words", info.wire_words, kind=kind)
+        m.observe("comm_wire_words_per_exchange", info.wire_words, kind=kind)
 
     def _collect_with_retry(
         self, site, info, level, do_collective, decode_one, corrupt_mode
@@ -212,9 +226,12 @@ class CommChannel:
                 if self.charger is not None and dropped:
                     self.charger.count(sieve_dropped=float(dropped))
                 self.sieve.mark(targets)
+                self.metrics.inc("sieve_candidates", float(before))
+                self.metrics.inc("sieve_dropped", float(dropped))
         else:
             dropped = 0
         with self.obs.span("encode", codec=self.codec.name):
+            self.metrics.inc("codec_encodes", 1.0, codec=self.codec.name)
             buckets, _counts = bucket_by_owner(
                 owners, self.comm.size, targets, parents
             )
@@ -306,6 +323,7 @@ class CommChannel:
         values = np.asarray(values, dtype=np.int64)
         extras = np.asarray(extras, dtype=np.int64)
         with self.obs.span("encode", codec=self.codec.name):
+            self.metrics.inc("codec_encodes", 1.0, codec=self.codec.name)
             buckets, _counts = bucket_by_owner(
                 owners, self.comm.size, targets, values, extras
             )
@@ -404,6 +422,7 @@ class CommChannel:
         frontier = np.asarray(frontier, dtype=np.int64)
         mine = self.ranges[self.comm.rank]
         with self.obs.span("encode", codec=self.codec.name):
+            self.metrics.inc("codec_encodes", 1.0, codec=self.codec.name)
             payload = float(bitmap_words(mine.nbits))
             buf = self.codec.encode_set(frontier, mine, dense=True)
             self._charge_encode(float(frontier.size), payload, float(buf.size))
@@ -449,6 +468,7 @@ class CommChannel:
         vertices = np.asarray(vertices, dtype=np.int64)
         mine = self.ranges[self.comm.rank]
         with self.obs.span("encode", codec=self.codec.name):
+            self.metrics.inc("codec_encodes", 1.0, codec=self.codec.name)
             payload = float(bitmap_words(mine.nbits))
             buf = self.codec.encode_set(vertices, mine, dense=True)
             self._charge_encode(float(vertices.size), payload, float(buf.size))
@@ -489,6 +509,7 @@ class CommChannel:
         vertices = np.asarray(vertices, dtype=np.int64)
         mine = self.ranges[self.comm.rank]
         with self.obs.span("encode", codec=self.codec.name):
+            self.metrics.inc("codec_encodes", 1.0, codec=self.codec.name)
             buf = self.codec.encode_set(vertices, mine, dense=False)
             self._charge_encode(
                 float(vertices.size), float(vertices.size), float(buf.size)

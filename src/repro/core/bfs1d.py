@@ -106,6 +106,7 @@ class TopDown1D:
             sieve=_make_sieve(self.sieve, csr.n),
             charger=engine.charger,
             tracer=engine.obs,
+            metrics=engine.metrics,
             faults=engine.faults,
         )
 

@@ -167,14 +167,16 @@ class SpMSV2D:
         ]
         self.row_channel = CommChannel(
             grid.row_comm, row_ranges, codec=self.codec, sieve=self.shared_sieve,
-            charger=engine.charger, tracer=engine.obs, faults=engine.faults,
+            charger=engine.charger, tracer=engine.obs,
+            metrics=engine.metrics, faults=engine.faults,
         )
         col_ranges = [
             VertexRange(self.col_lo, self.col_hi - self.col_lo)
         ] * grid.col_comm.size
         self.col_channel = CommChannel(
             grid.col_comm, col_ranges, codec=self.codec, sieve=self.shared_sieve,
-            charger=engine.charger, tracer=engine.obs, faults=engine.faults,
+            charger=engine.charger, tracer=engine.obs,
+            metrics=engine.metrics, faults=engine.faults,
         )
 
         self.levels = np.full(self.nloc, -1, dtype=np.int64)

@@ -210,6 +210,7 @@ class DirOpt1D:
             sieve=make_sieve(self.sieve, csr.n),
             charger=engine.charger,
             tracer=engine.obs,
+            metrics=engine.metrics,
             faults=engine.faults,
         )
         self.degrees = csr.indptr[self.lo + 1 : self.hi + 1] - csr.indptr[self.lo : self.hi]

@@ -52,6 +52,7 @@ from repro.faults import (
     save_checkpoint,
 )
 from repro.model.costmodel import Charger
+from repro.obs.metrics import resolve_metrics
 from repro.obs.tracer import resolve_tracer
 
 
@@ -164,6 +165,7 @@ def traversal_body(
     threads: int = 1,
     trace: bool = False,
     tracer=None,
+    metrics=None,
     faults=None,
     checkpoint=None,
     resume_level: int | None = None,
@@ -185,6 +187,7 @@ def traversal_body(
         threads=threads,
         trace=trace,
         tracer=tracer,
+        metrics=metrics,
         faults=faults,
         checkpoint=checkpoint,
         resume_level=resume_level,
@@ -214,6 +217,7 @@ class TraversalEngine:
         threads: int = 1,
         trace: bool = False,
         tracer=None,
+        metrics=None,
         faults=None,
         checkpoint=None,
         resume_level: int | None = None,
@@ -228,11 +232,17 @@ class TraversalEngine:
             comm, machine=machine, threads=threads, **step.charger_kwargs
         )
         self.obs = resolve_tracer(tracer).for_rank(comm)
-        self.faults = resolve_rank_faults(faults, comm, self.charger.machine, self.obs)
+        # Passive like the tracer: metrics read outcomes but never touch
+        # the virtual clocks, so a metered run stays bit-identical.
+        self.metrics = resolve_metrics(metrics).for_rank(comm)
+        self.faults = resolve_rank_faults(
+            faults, comm, self.charger.machine, self.obs, self.metrics
+        )
 
     def run(self) -> dict:
         """Execute the traversal; returns the rank's result dict."""
         comm, step, obs, charger = self.comm, self.step, self.obs, self.charger
+        metrics = self.metrics
         step.setup(self)
 
         level = 1
@@ -245,6 +255,7 @@ class TraversalEngine:
             step.frontier = snap["frontier"].copy()
             term = step.restore(snap)
             level = self.resume_level + 1
+            metrics.inc("checkpoint_restores")
         else:
             term = step.initial_sync()
 
@@ -264,8 +275,24 @@ class TraversalEngine:
                 crashed = crash
                 break
             frontier_in = int(step.frontier.size)
-            with obs.span("level", **step.begin_level(level)):
+            level_attrs = step.begin_level(level)
+            with obs.span("level", **level_attrs):
                 outcome = step.step(level)
+
+                metrics.inc("engine_levels")
+                metrics.inc("engine_candidates", float(outcome.candidates))
+                metrics.inc(
+                    "engine_discovered", float(step.frontier.size), level=level
+                )
+                metrics.observe("engine_frontier_size", float(frontier_in))
+                if "lanes" in level_attrs:
+                    metrics.set_gauge(
+                        "query_lanes_active", float(level_attrs["lanes"]), level=level
+                    )
+                if "direction" in level_attrs:
+                    metrics.inc(
+                        "engine_direction_levels", direction=level_attrs["direction"]
+                    )
 
                 if self.trace:
                     level_trace.append(
@@ -302,6 +329,7 @@ class TraversalEngine:
                     }
                     state.update(step.state())
                     save_checkpoint(self.checkpoint, comm, charger, obs, level, state)
+                    metrics.inc("checkpoint_saves")
             level += 1
 
         lo_key, hi_key = step.result_keys

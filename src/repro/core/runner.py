@@ -217,6 +217,7 @@ class RunConfig:
     validate: bool = False
     trace: bool = False
     tracer: object = None
+    metrics: object = None
     faults: object = None
     checkpoint_every: int | None = None
     max_retries: int | None = None
@@ -263,6 +264,12 @@ class RunConfig:
             raise ValueError(
                 f"{self.algorithm} is not instrumented for span tracing; "
                 "tracer applies to the 1d/2d families only"
+            )
+        # Metrics ride the same instrumentation seams as the tracer.
+        if self.metrics is not None and "tracer" not in spec.capabilities:
+            raise ValueError(
+                f"{self.algorithm} is not instrumented for metrics; "
+                "metrics applies to the 1d/2d families only"
             )
         if self.resilient and "faults" not in spec.capabilities:
             raise ValueError(
@@ -357,6 +364,7 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
             threads=threads,
             trace=config.trace,
             tracer=config.tracer,
+            metrics=config.metrics,
         )
         if spec.family in ("1d", "1d-dirop", "pbgl", "graph500-ref"):
             nranks = nprocs
@@ -490,6 +498,7 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
             ),
             "level_profile": level_profile,
             "tracer": config.tracer,
+            "metrics": config.metrics,
             "faults": fault_meta,
         },
     )
@@ -514,6 +523,7 @@ def run_bfs(
     validate: bool = False,
     trace: bool = False,
     tracer=None,
+    metrics=None,
     faults=None,
     checkpoint_every: int | None = None,
     max_retries: int | None = None,
@@ -592,6 +602,13 @@ def run_bfs(
         stored in ``result.meta["tracer"]`` so
         :func:`repro.obs.run_report` and
         :func:`repro.obs.write_chrome_trace` can find it.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` recording typed
+        labeled counters/gauges/histograms from the engine, comm channel
+        and fault layer (1d/2d families only).  Passive like the tracer
+        — stats stay bit-identical — and stored in
+        ``result.meta["metrics"]`` so :func:`repro.obs.run_report` embeds
+        the snapshot.
     faults:
         Deterministic fault schedule for the run: a ``--fault-spec``
         string (``"crash:rank=1,level=3;timeout:level=2;seed=7"``), a
@@ -630,6 +647,7 @@ def run_bfs(
             validate=validate,
             trace=trace,
             tracer=tracer,
+            metrics=metrics,
             faults=faults,
             checkpoint_every=checkpoint_every,
             max_retries=max_retries,

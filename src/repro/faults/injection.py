@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.faults.spec import FaultEvent, FaultPlan, RetryPolicy
+from repro.obs.metrics import NULL_RANK_METRICS
 
 
 class FaultError(RuntimeError):
@@ -113,12 +114,17 @@ class RankFaults:
 
     enabled = True
 
-    def __init__(self, plan: FaultPlan, retry: RetryPolicy, comm, machine, obs):
+    def __init__(
+        self, plan: FaultPlan, retry: RetryPolicy, comm, machine, obs,
+        metrics=NULL_RANK_METRICS,
+    ):
         self.plan = plan
         self.retry = retry
         self.comm = comm
         self.machine = machine
         self.obs = obs
+        #: Per-rank metrics handle; passive (never charges the clocks).
+        self.metrics = metrics
         self._used: set[int] = set()
 
     # -- level boundary ----------------------------------------------------
@@ -130,6 +136,7 @@ class RankFaults:
             self.obs.instant(
                 "fault-crash", level=level, victim=event.rank
             )
+            self.metrics.inc("fault_crashes")
             raise RankCrashError(event.rank, level, index)
         hit = self.plan.delay_at(self.comm.global_rank, level)
         if hit is not None:
@@ -139,6 +146,8 @@ class RankFaults:
                 with self.obs.span("fault-delay", level=level, seconds=event.seconds):
                     seconds = event.seconds if self.machine is not None else 0.0
                     self.comm.clock.charge_fault(seconds, fault_delays=1.0)
+                    self.metrics.inc("fault_delays")
+                    self.metrics.inc("fault_seconds", seconds, kind="delay")
 
     # -- transient faults on collectives -----------------------------------
     def poll(self, site: str, level: int | None, attempt: int):
@@ -162,10 +171,10 @@ class RankFaults:
         with self.obs.span(
             "fault-retry", level=level, kind=event.kind, site=site, attempt=attempt
         ):
-            self.comm.clock.charge_fault(
-                self.retry.penalty_seconds(self.machine, attempt),
-                fault_retries=1.0,
-            )
+            penalty = self.retry.penalty_seconds(self.machine, attempt)
+            self.comm.clock.charge_fault(penalty, fault_retries=1.0)
+            self.metrics.inc("fault_retries", 1.0, kind=event.kind, site=site)
+            self.metrics.inc("fault_seconds", penalty, kind=event.kind)
 
     def is_corruption_victim(self, event: FaultEvent) -> bool:
         return self.comm.global_rank == event.rank
@@ -187,7 +196,9 @@ class NullRankFaults:
 NULL_RANK_FAULTS = NullRankFaults()
 
 
-def resolve_rank_faults(faults, comm, machine, obs) -> RankFaults | NullRankFaults:
+def resolve_rank_faults(
+    faults, comm, machine, obs, metrics=NULL_RANK_METRICS
+) -> RankFaults | NullRankFaults:
     """Build a rank's fault handle (the null object when unfaulted).
 
     ``faults`` is the :class:`~repro.faults.FaultContext` threaded from
@@ -195,4 +206,4 @@ def resolve_rank_faults(faults, comm, machine, obs) -> RankFaults | NullRankFaul
     """
     if faults is None:
         return NULL_RANK_FAULTS
-    return RankFaults(faults.plan, faults.retry, comm, machine, obs)
+    return RankFaults(faults.plan, faults.retry, comm, machine, obs, metrics)

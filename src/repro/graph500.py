@@ -126,6 +126,7 @@ def run_graph500(
     seed: int | None = 0,
     validate: bool = True,
     tracer=None,
+    metrics=None,
     **bfs_kwargs,
 ) -> Graph500Result:
     """Run the full Graph 500 flow at the given (down)scale.
@@ -137,7 +138,9 @@ def run_graph500(
     specification rules unless ``validate=False``.  ``tracer`` is an
     optional :class:`~repro.obs.Tracer` recording phase spans for the
     *first* search only — virtual time restarts at zero each traversal,
-    so one tracer describes one run.
+    so one tracer describes one run.  ``metrics`` is an optional
+    :class:`~repro.obs.MetricsRegistry`, likewise metering the first
+    search only.
     """
     if nbfs < 1:
         raise ValueError(f"nbfs must be >= 1, got {nbfs}")
@@ -172,6 +175,7 @@ def run_graph500(
             machine=machine,
             validate=validate,
             tracer=tracer if i == 0 else None,
+            metrics=metrics if i == 0 else None,
             **bfs_kwargs,
         )
         searches.append(result)

@@ -1,18 +1,28 @@
 """Structured tracing + metrics for simulated BFS runs (``repro.obs``).
 
-Four pieces, layered on the virtual clocks of :mod:`repro.mpsim`:
+Layered on the virtual clocks of :mod:`repro.mpsim`:
 
 * :mod:`~repro.obs.tracer` — nested per-rank, per-level phase spans
   stamped in virtual time; the 1D/2D/direction-optimizing algorithms,
   the comm channel and the SpMSV kernels are instrumented.  Installing
   no tracer costs nothing (shared no-op handles).
+* :mod:`~repro.obs.metrics` — labeled counters/gauges/histograms behind
+  the same null-object pattern; engine, comm channel, fault injector
+  and query steps are instrumented, and every counter reconciles
+  exactly with the span/stats-derived quantities.
 * :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (one track per
   rank; open in Perfetto) and the machine-readable run report.
+* :mod:`~repro.obs.events` — the schema-versioned JSONL event log and
+  the collapsed-stack flamegraph exporter (speedscope/flamegraph.pl).
 * :mod:`~repro.obs.analysis` — per-level critical paths that sum exactly
   to the modeled makespan, load-imbalance metrics with straggler
   attribution, and comm/comp decompositions (programmatic Figure 6/8).
 * :mod:`~repro.obs.regress` — the perf gate: ``repro-bench perf-diff``
   compares two run reports and fails on regression.
+* :mod:`~repro.obs.trajectory` — the cross-run analyzer behind
+  ``repro-bench trajectory``: committed ``BENCH_*.json`` baselines
+  become per-metric time series with median-reference gating,
+  changepoint detection and a markdown/HTML dashboard.
 
 Typical flow::
 
@@ -38,6 +48,16 @@ from repro.obs.analysis import (
     critical_path,
     load_imbalance,
 )
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    collapsed_stacks,
+    load_events_jsonl,
+    run_events,
+    validate_collapsed_stacks,
+    validate_events,
+    write_events_jsonl,
+    write_flamegraph,
+)
 from repro.obs.export import (
     REPORT_SCHEMA,
     chrome_trace,
@@ -47,6 +67,17 @@ from repro.obs.export import (
     write_chrome_trace,
     write_run_report,
 )
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    NULL_METRICS,
+    NULL_RANK_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    NullRankMetrics,
+    RankMetrics,
+    resolve_metrics,
+)
 from repro.obs.regress import (
     DEFAULT_THRESHOLD,
     GATED_METRICS,
@@ -54,6 +85,7 @@ from repro.obs.regress import (
     PerfDiff,
     compare_reports,
     perf_diff,
+    resolve_baseline,
 )
 from repro.obs.tracer import (
     NULL_RANK_TRACER,
@@ -64,6 +96,13 @@ from repro.obs.tracer import (
     Span,
     Tracer,
     resolve_tracer,
+)
+from repro.obs.trajectory import (
+    MetricTrend,
+    Trajectory,
+    analyze_reports,
+    analyze_trajectory,
+    resolve_series,
 )
 
 __all__ = [
@@ -89,6 +128,29 @@ __all__ = [
     "PerfDiff",
     "compare_reports",
     "perf_diff",
+    "resolve_baseline",
+    "EVENTS_SCHEMA",
+    "collapsed_stacks",
+    "load_events_jsonl",
+    "run_events",
+    "validate_collapsed_stacks",
+    "validate_events",
+    "write_events_jsonl",
+    "write_flamegraph",
+    "MetricTrend",
+    "Trajectory",
+    "analyze_reports",
+    "analyze_trajectory",
+    "resolve_series",
+    "METRICS_SCHEMA",
+    "NULL_METRICS",
+    "NULL_RANK_METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullRankMetrics",
+    "RankMetrics",
+    "resolve_metrics",
     "NULL_RANK_TRACER",
     "NULL_TRACER",
     "NullRankTracer",

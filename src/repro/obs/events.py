@@ -1,0 +1,302 @@
+"""Structured event log and flamegraph export for simulated runs.
+
+Two consumable views of one instrumented run, both derived from the
+recorded :class:`~repro.obs.tracer.Tracer` spans (and, when present, the
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot):
+
+* **JSONL event log** — a schema-versioned stream of structured events
+  (``run``/``level``/``span``/``instant``/``fault``/``checkpoint``/
+  ``metric``), one JSON object per line, ordered by virtual time.  The
+  first line is the run header; every following line carries ``kind``
+  and a virtual timestamp ``t``, so a consumer can ``tail -f`` the file
+  and dispatch on ``kind`` without buffering — the shape the coming
+  long-running traversal service (ROADMAP open item 4) will emit live.
+* **Collapsed-stack flamegraph** — ``frame;frame;frame weight`` lines
+  (Brendan Gregg's format; loads directly in speedscope and
+  ``flamegraph.pl``).  One stack per span, rooted at the rank, weighted
+  by the span's *self* virtual time in integer microseconds.  Identical
+  stacks aggregate; zero-weight stacks are dropped, so an untimed run
+  (no machine model → all spans zero-length) produces an empty graph.
+
+Usage::
+
+    from repro.obs import Tracer, write_events_jsonl, write_flamegraph
+
+    tracer = Tracer()
+    result = repro.run_bfs(graph, src, "1d-dirop", nprocs=8,
+                           machine="hopper", tracer=tracer)
+    write_events_jsonl("events.jsonl", result)
+    write_flamegraph("profile.folded", result)
+
+Both writers find the tracer (and metrics registry) in ``result.meta``
+exactly like :func:`repro.obs.export.run_report` does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Span, Tracer
+
+#: Schema tag on the event stream's header line; consumers dispatch on it.
+EVENTS_SCHEMA = "repro.obs/events/v1"
+
+#: Span phases surfaced as first-class ``fault`` events.
+_FAULT_PHASES = frozenset({"fault-crash", "fault-delay", "fault-retry"})
+
+#: Span phases surfaced as first-class ``checkpoint`` events.
+_CHECKPOINT_PHASES = frozenset({"checkpoint", "restore"})
+
+
+def _resolve_tracer(result, tracer) -> Tracer | None:
+    if tracer is not None:
+        return tracer
+    return result.meta.get("tracer") if result is not None else None
+
+
+def _resolve_metrics(result, metrics):
+    if metrics is not None:
+        return metrics
+    return result.meta.get("metrics") if result is not None else None
+
+
+def _span_kind(span: Span) -> str:
+    if span.phase in _FAULT_PHASES:
+        return "fault"
+    if span.phase in _CHECKPOINT_PHASES:
+        return "checkpoint"
+    if span.phase == "level":
+        return "level"
+    if span.instant:
+        return "instant"
+    return "span"
+
+
+#: Structural event fields span metadata must not clobber (a fault-retry
+#: span carries ``kind="timeout"`` in its meta, which is the *fault*
+#: kind, not the event kind).
+_RESERVED_FIELDS = frozenset({"kind", "t", "rank", "phase", "dur", "depth"})
+
+
+def _span_event(span: Span) -> dict:
+    event = {
+        "kind": _span_kind(span),
+        "t": span.t_start,
+        "rank": span.rank,
+        "phase": span.phase,
+        "dur": span.duration,
+        "depth": span.depth,
+    }
+    if span.level is not None:
+        event["level"] = span.level
+    for key, value in span.meta.items():
+        event[f"meta_{key}" if key in _RESERVED_FIELDS else key] = value
+    return event
+
+
+def run_events(result, tracer=None, metrics=None) -> list[dict]:
+    """The run's full event list: header first, then time-ordered events.
+
+    ``result`` is a :class:`~repro.core.runner.BFSResult` or
+    :class:`~repro.query.QueryResult`; the tracer and metrics registry
+    are found in ``result.meta`` unless passed explicitly.  Span-derived
+    events are ordered by ``(t, rank, recording order)`` — exactly the
+    order a live run would emit them, so writing the list line by line
+    *is* the streaming protocol.
+    """
+    tracer = _resolve_tracer(result, tracer)
+    registry = _resolve_metrics(result, metrics)
+
+    header: dict = {"kind": "run", "schema": EVENTS_SCHEMA, "t": 0.0}
+    if result is not None:
+        header.update(
+            algorithm=result.algorithm,
+            nranks=result.nranks,
+            nlevels=result.nlevels,
+            m_traversed=result.m_traversed,
+            graph=result.meta.get("graph"),
+            machine=result.meta.get("machine"),
+        )
+        if hasattr(result, "kind"):
+            header["query_kind"] = result.kind
+            header["batch"] = result.batch
+    events = [header]
+
+    spans: list[Span] = tracer.all_spans() if tracer is not None else []
+    indexed = sorted(
+        enumerate(spans), key=lambda pair: (pair[1].t_start, pair[1].rank, pair[0])
+    )
+    events.extend(_span_event(span) for _, span in indexed)
+
+    end_t = max((s.t_end for s in spans), default=0.0)
+    if registry is not None:
+        snapshot = registry.snapshot()
+        for name, entry in snapshot["metrics"].items():
+            for labels, value in entry["series"].items():
+                events.append(
+                    {
+                        "kind": "metric",
+                        "t": end_t,
+                        "name": name,
+                        "type": entry["type"],
+                        "labels": labels,
+                        "value": value,
+                    }
+                )
+    events.append({"kind": "end", "t": end_t, "events": len(events)})
+    return events
+
+
+def write_events_jsonl(path, result, tracer=None, metrics=None) -> int:
+    """Write the run's event stream as JSON Lines; returns the line count."""
+    events = run_events(result, tracer=tracer, metrics=metrics)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(events)
+
+
+def load_events_jsonl(path) -> list[dict]:
+    """Read an event stream back; validates the header's schema tag."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    if not events:
+        raise ValueError(f"{path}: empty event stream")
+    head = events[0]
+    if head.get("kind") != "run" or head.get("schema") != EVENTS_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {EVENTS_SCHEMA} stream (header: {head})"
+        )
+    return events
+
+
+def validate_events(events: list[dict]) -> None:
+    """Structural checks on one event stream (raises ``ValueError``).
+
+    Asserts the header/terminator frame the stream, every event carries
+    ``kind`` and a finite non-negative ``t``, and span-derived events are
+    non-decreasing in time — the invariant that makes the stream
+    tail-able without buffering.
+    """
+    if not events:
+        raise ValueError("empty event stream")
+    if events[0].get("kind") != "run":
+        raise ValueError(f"first event must be the run header: {events[0]}")
+    if events[0].get("schema") != EVENTS_SCHEMA:
+        raise ValueError(f"unknown schema: {events[0].get('schema')!r}")
+    if events[-1].get("kind") != "end":
+        raise ValueError(f"last event must be the end marker: {events[-1]}")
+    last_t = 0.0
+    for event in events:
+        kind = event.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise ValueError(f"event without kind: {event}")
+        t = event.get("t")
+        if kind == "metric":
+            continue  # metrics are stamped at end_t, checked via "end"
+        if not isinstance(t, (int, float)) or t < 0 or t != t:
+            raise ValueError(f"event with bad timestamp: {event}")
+        if kind in ("level", "span", "instant", "fault", "checkpoint"):
+            if t < last_t:
+                raise ValueError(
+                    f"events out of order: t={t} after t={last_t}: {event}"
+                )
+            last_t = t
+            if event.get("dur", 0.0) < 0:
+                raise ValueError(f"negative duration: {event}")
+
+
+# -- flamegraph ------------------------------------------------------------
+
+
+def _frame(span: Span) -> str:
+    """One stack frame's name; levels keep their number, ';' is reserved."""
+    name = f"level:{span.level}" if span.phase == "level" else span.phase
+    return name.replace(";", ",")
+
+
+def collapsed_stacks(tracer: Tracer) -> dict[str, int]:
+    """Aggregate span self-times into collapsed call stacks.
+
+    Returns ``{stack: weight}`` where ``stack`` is
+    ``rank0;level:3;td-exchange;alltoallv`` and ``weight`` the stack's
+    *self* virtual time (duration minus enclosed children) in integer
+    microseconds, summed over identical stacks.  Instants and zero-self
+    stacks are dropped.
+    """
+    stacks: dict[str, int] = {}
+    for rank in tracer.ranks:
+        spans = tracer.spans_for(rank)
+        child_time = [0.0] * len(spans)
+        for span in spans:
+            if span.parent is not None and not span.instant:
+                child_time[span.parent] += span.duration
+        for i, span in enumerate(spans):
+            if span.instant:
+                continue
+            self_us = round((span.duration - child_time[i]) * 1e6)
+            if self_us <= 0:
+                continue
+            frames = []
+            j: int | None = i
+            while j is not None:
+                frames.append(_frame(spans[j]))
+                j = spans[j].parent
+            frames.append(f"rank{rank}")
+            stack = ";".join(reversed(frames))
+            stacks[stack] = stacks.get(stack, 0) + self_us
+    return stacks
+
+
+def write_flamegraph(path, result=None, tracer=None) -> int:
+    """Write a collapsed-stack profile; returns the number of stacks.
+
+    Output is plain ``stack weight`` lines sorted by stack name —
+    deterministic, and directly loadable by speedscope or
+    ``flamegraph.pl``.  An untimed run writes an empty file (every span
+    has zero virtual duration).
+    """
+    tracer = _resolve_tracer(result, tracer)
+    if tracer is None:
+        raise ValueError(
+            "no tracer: pass tracer= or a result traced with one"
+        )
+    stacks = collapsed_stacks(tracer)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for stack in sorted(stacks):
+            fh.write(f"{stack} {stacks[stack]}\n")
+    return len(stacks)
+
+
+def validate_collapsed_stacks(text: str) -> int:
+    """Validate collapsed-stack format; returns the stack count.
+
+    Each non-empty line must be ``frame(;frame)* weight`` with a positive
+    integer weight and non-empty frame names — the exact grammar both
+    speedscope's importer and ``flamegraph.pl`` parse.
+    """
+    count = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        stack, sep, weight = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError(f"line {lineno}: not 'stack weight': {line!r}")
+        if not weight.isdigit() or int(weight) <= 0:
+            raise ValueError(
+                f"line {lineno}: weight must be a positive integer: {weight!r}"
+            )
+        frames = stack.split(";")
+        if any(not frame for frame in frames):
+            raise ValueError(f"line {lineno}: empty frame name: {stack!r}")
+        count += 1
+    return count

@@ -25,12 +25,16 @@ from repro.obs.analysis import comm_comp_summary, critical_path, load_imbalance
 from repro.obs.tracer import Tracer
 
 #: Schema tag stamped into every run report (bump on breaking changes).
-#: v2 added the ``faults`` section (fault/retry/checkpoint accounting).
-REPORT_SCHEMA = "repro.obs/run-report/v2"
+#: v2 added the ``faults`` section (fault/retry/checkpoint accounting);
+#: v3 added the ``metrics`` snapshot and the ``query`` section
+#: (kind/batch/queries-per-second for batched-query runs).
+REPORT_SCHEMA = "repro.obs/run-report/v3"
 
 #: Older schemas :func:`load_run_report` still accepts (the additions
 #: are backward compatible: readers treat a missing section as absent).
-_ACCEPTED_SCHEMAS = frozenset({"repro.obs/run-report/v1", REPORT_SCHEMA})
+_ACCEPTED_SCHEMAS = frozenset(
+    {"repro.obs/run-report/v1", "repro.obs/run-report/v2", REPORT_SCHEMA}
+)
 
 #: Seconds -> Chrome trace microseconds.
 _US = 1e6
@@ -135,6 +139,8 @@ def run_report(result, tracer: Tracer | None = None) -> dict:
         },
         "gteps": result.gteps() if timed else None,
         "faults": meta.get("faults"),
+        "query": None,
+        "metrics": None,
         "comm": None,
         "phases": {},
         "levels": [],
@@ -144,6 +150,18 @@ def run_report(result, tracer: Tracer | None = None) -> dict:
     batch = getattr(result, "batch", None)
     if batch is not None:
         report["graph"]["batch"] = int(batch)
+    # Batched-query runs (QueryResult) carry their workload metrics in a
+    # first-class section so perf-diff/trajectory can gate on throughput.
+    kind = getattr(result, "kind", None)
+    if kind is not None:
+        report["query"] = {
+            "kind": kind,
+            "batch": int(batch) if batch is not None else None,
+            "queries_per_second": result.queries_per_second() if timed else None,
+        }
+    registry = meta.get("metrics")
+    if registry is not None:
+        report["metrics"] = registry.snapshot()
     if result.stats is not None:
         summary = result.stats.summary()
         summary["words_by_level"] = _stringify_levels(summary["words_by_level"])
@@ -200,9 +218,13 @@ def validate_chrome_trace(trace: dict) -> None:
     """Sanity-check a :func:`chrome_trace` object against the format.
 
     Raises ``ValueError`` on a malformed trace: missing ``traceEvents``,
-    events without ``ph``/``pid``/``tid``, complete events without
-    ``ts``/``dur``, or non-finite timestamps.  Used by the tests and the
-    CI perf-gate job before uploading the artifact.
+    events without ``ph``/``pid``/``tid``, complete (``"X"``) events
+    without ``ts``/``dur``, instant (``"i"``) events without ``ts`` or a
+    scope, non-finite timestamps, or malformed span metadata — a
+    ``level`` arg that is not a non-negative integer, or a query span's
+    ``lanes`` arg outside ``[1, 64]`` (the uint64 lane-word capacity of
+    ``msbfs-1d``).  Used by the tests and the CI perf-gate/telemetry
+    jobs before uploading artifacts.
     """
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -219,3 +241,22 @@ def validate_chrome_trace(trace: dict) -> None:
                 raise ValueError(f"non-finite timestamps: {event}")
             if event["dur"] < 0:
                 raise ValueError(f"negative duration: {event}")
+        elif event["ph"] == "i":
+            for key in ("name", "ts"):
+                if key not in event:
+                    raise ValueError(f"instant event missing {key!r}: {event}")
+            if not math.isfinite(event["ts"]) or event["ts"] < 0:
+                raise ValueError(f"bad instant timestamp: {event}")
+            if event.get("s") not in ("t", "p", "g"):
+                raise ValueError(f"instant event without a valid scope: {event}")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        level = args.get("level")
+        if level is not None and (not isinstance(level, int) or level < 0):
+            raise ValueError(f"span with non-integer level: {event}")
+        lanes = args.get("lanes")
+        if lanes is not None and (
+            not isinstance(lanes, int) or not 1 <= lanes <= 64
+        ):
+            raise ValueError(f"query span with lanes outside [1, 64]: {event}")

@@ -28,13 +28,15 @@ from pathlib import Path
 DEFAULT_THRESHOLD = 0.05
 
 #: Metrics whose regression fails the gate.  ``time.total`` regresses
-#: upward, ``gteps`` downward (flagged by ``_LOWER_IS_WORSE``).
-GATED_METRICS = ("time.total", "gteps")
+#: upward, ``gteps`` and query throughput downward (flagged by
+#: ``_LOWER_IS_WORSE``).  A metric absent from either report never
+#: gates, so BFS reports are unaffected by the query gate.
+GATED_METRICS = ("time.total", "gteps", "query.queries_per_second")
 
 #: Informational metrics: shown in the diff, never gate.
 INFO_METRICS = ("time.comm", "time.comp")
 
-_LOWER_IS_WORSE = frozenset({"gteps"})
+_LOWER_IS_WORSE = frozenset({"gteps", "query.queries_per_second"})
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,10 @@ def _flatten_metrics(report: dict) -> dict[str, float]:
         out["faults.restores"] = float(len(faults.get("restores") or ()))
         for key, value in (faults.get("counters") or {}).items():
             out[f"faults.{key}"] = float(value)
+    query = report.get("query") or {}
+    for key in ("queries_per_second", "batch"):
+        if query.get(key) is not None:
+            out[f"query.{key}"] = float(query[key])
     return out
 
 
@@ -213,14 +219,44 @@ def compare_reports(
     )
 
 
+def resolve_baseline(path: str | Path) -> Path:
+    """Resolve a baseline argument to one concrete report file.
+
+    Accepts a report file, a directory holding committed ``BENCH_*.json``
+    baselines, or a glob pattern; directories and globs pick the
+    lexicographically **latest** match, so date- or sequence-stamped
+    baseline names (``BENCH_2026-08-08.json``, ``BENCH_pr9.json``) roll
+    forward automatically.  Filename order is used instead of mtime
+    because git checkouts do not preserve modification times.
+    """
+    path = Path(path)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        matches = sorted(path.glob("BENCH_*.json"))
+        if not matches:
+            raise FileNotFoundError(f"{path}: no BENCH_*.json baselines")
+        return matches[-1]
+    matches = sorted(path.parent.glob(path.name))
+    if not matches:
+        raise FileNotFoundError(f"{path}: no baseline file, directory or match")
+    return matches[-1]
+
+
 def perf_diff(
     baseline_path: str | Path,
     candidate_path: str | Path,
     threshold: float = DEFAULT_THRESHOLD,
 ) -> PerfDiff:
-    """Load two run-report files and compare them."""
+    """Load two run-report files and compare them.
+
+    ``baseline_path`` may also be a directory or glob of ``BENCH_*.json``
+    baselines; the latest match (filename order) is used — see
+    :func:`resolve_baseline`.
+    """
     from repro.obs.export import load_run_report
 
+    baseline_path = resolve_baseline(baseline_path)
     baseline = load_run_report(baseline_path)
     candidate = load_run_report(candidate_path)
     return compare_reports(

@@ -1,0 +1,364 @@
+"""Cross-run performance-trajectory analyzer.
+
+:mod:`repro.obs.regress` gates one candidate against one baseline;
+this module looks at the whole *history*: every committed
+``BENCH_*.json`` run report becomes one point of a per-metric time
+series, ordered by filename (git checkouts do not preserve mtimes, so
+date- or PR-stamped names are the ordering contract).  From the series
+it derives, per metric:
+
+* the **trend** — min/max/latest plus a unicode sparkline;
+* a **regression verdict** for gated metrics: the newest point is
+  compared against the *median* of the preceding points, so one noisy
+  historical point cannot shift the reference the way a mean would;
+* **changepoints** — consecutive-point jumps beyond the threshold
+  anywhere in the series, which localize *when* a metric moved even if
+  the latest point looks fine against the median.
+
+``repro-bench trajectory benchmarks/ --candidate fresh.json`` is the CI
+entry point: exit 0 when no gated metric regressed, 1 on regression,
+2 on unusable input.  ``--markdown-out``/``--html-out`` write the
+dashboard artifacts.  Simulated runs are deterministic, so a candidate
+re-run of the committed recipe sits exactly on the trajectory and the
+gate can be tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    GATED_METRICS,
+    _LOWER_IS_WORSE,
+    _flatten_metrics,
+)
+
+#: Sparkline glyphs, lowest to highest.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float]) -> str:
+    """Render a series as one unicode sparkline character per point."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, int((v - lo) / span * len(_SPARKS)))]
+        for v in values
+    )
+
+
+def _worse(name: str, prev: float, curr: float) -> float | None:
+    """Signed relative change, normalized so positive means *worse*."""
+    if prev == 0:
+        return None
+    rel = (curr - prev) / abs(prev)
+    return -rel if name in _LOWER_IS_WORSE else rel
+
+
+@dataclass(frozen=True)
+class MetricTrend:
+    """One metric's history across the run-report series."""
+
+    metric: str
+    #: ``(point label, value)`` pairs in series order.
+    points: list[tuple[str, float]]
+    gated: bool
+    #: Median of all points before the latest (``None`` with <2 points).
+    reference: float | None
+    #: Latest-vs-reference change, positive = worse; ``None`` if not
+    #: computable (short series or zero reference).
+    rel_change: float | None
+    #: ``(point label, worse-positive jump)`` for every consecutive-point
+    #: move beyond the threshold, newest last.
+    changepoints: list[tuple[str, float]]
+
+    @property
+    def latest(self) -> float:
+        return self.points[-1][1]
+
+    @property
+    def sparkline(self) -> str:
+        return _sparkline([v for _, v in self.points])
+
+
+def _trend(name: str, points: list[tuple[str, float]], threshold: float) -> MetricTrend:
+    values = [v for _, v in points]
+    reference = median(values[:-1]) if len(values) >= 2 else None
+    rel = None
+    if reference is not None and reference != 0:
+        rel = _worse(name, reference, values[-1])
+    changepoints = []
+    for (_, prev), (label, curr) in zip(points, points[1:]):
+        jump = _worse(name, prev, curr)
+        if jump is not None and abs(jump) > threshold:
+            changepoints.append((label, jump))
+    return MetricTrend(
+        metric=name,
+        points=points,
+        gated=name in GATED_METRICS,
+        reference=reference,
+        rel_change=rel,
+        changepoints=changepoints,
+    )
+
+
+@dataclass
+class Trajectory:
+    """The analyzed series: per-metric trends plus the gate verdict."""
+
+    #: Point labels (report filenames/stems) in series order.
+    names: list[str]
+    trends: list[MetricTrend]
+    threshold: float
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricTrend]:
+        return [
+            t
+            for t in self.trends
+            if t.gated and t.rel_change is not None and t.rel_change > self.threshold
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def trend(self, metric: str) -> MetricTrend | None:
+        for t in self.trends:
+            if t.metric == metric:
+                return t
+        return None
+
+    def _verdict(self) -> str:
+        if self.ok:
+            return (
+                "PASS: latest point is on the trajectory "
+                f"(no gated metric beyond {self.threshold:.1%} of its median)"
+            )
+        worst = max(self.regressions, key=lambda t: t.rel_change)
+        return (
+            f"FAIL: {len(self.regressions)} gated metric(s) off the "
+            f"trajectory; worst is {worst.metric} at +{worst.rel_change:.2%} "
+            f"vs median (threshold {self.threshold:.1%})"
+        )
+
+    def render(self) -> str:
+        """Plain-text dashboard plus the verdict line."""
+        lines = [
+            f"perf trajectory: {len(self.names)} points "
+            f"({self.names[0]} .. {self.names[-1]}), "
+            f"threshold {self.threshold:.1%}"
+        ]
+        header = (
+            f"{'metric':<28} {'trend':<12} {'median':>12} {'latest':>12} "
+            f"{'change':>9}  gate"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for t in self.trends:
+            ref = f"{t.reference:.6g}" if t.reference is not None else "-"
+            if t.rel_change is None:
+                change = "-"
+            else:
+                raw = -t.rel_change if t.metric in _LOWER_IS_WORSE else t.rel_change
+                change = f"{raw:+.2%}"
+            flag = ""
+            if t.gated:
+                flag = (
+                    "FAIL"
+                    if t.rel_change is not None and t.rel_change > self.threshold
+                    else "ok"
+                )
+            lines.append(
+                f"{t.metric:<28} {t.sparkline:<12} {ref:>12} "
+                f"{t.latest:>12.6g} {change:>9}  {flag}"
+            )
+        for t in self.trends:
+            for label, jump in t.changepoints:
+                direction = "worsened" if jump > 0 else "improved"
+                lines.append(
+                    f"changepoint: {t.metric} {direction} {abs(jump):.2%} at {label}"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append(self._verdict())
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavored markdown dashboard (CI job summary artifact)."""
+        lines = [
+            "# Performance trajectory",
+            "",
+            f"{len(self.names)} points: `{self.names[0]}` → `{self.names[-1]}`, "
+            f"gate threshold {self.threshold:.1%}.",
+            "",
+            "| metric | trend | median | latest | change | gate |",
+            "| --- | --- | ---: | ---: | ---: | --- |",
+        ]
+        for t in self.trends:
+            ref = f"{t.reference:.6g}" if t.reference is not None else "—"
+            if t.rel_change is None:
+                change = "—"
+            else:
+                raw = -t.rel_change if t.metric in _LOWER_IS_WORSE else t.rel_change
+                change = f"{raw:+.2%}"
+            if not t.gated:
+                flag = "info"
+            elif t.rel_change is not None and t.rel_change > self.threshold:
+                flag = "**FAIL**"
+            else:
+                flag = "ok"
+            lines.append(
+                f"| `{t.metric}` | `{t.sparkline}` | {ref} | "
+                f"{t.latest:.6g} | {change} | {flag} |"
+            )
+        changepoints = [
+            (t.metric, label, jump)
+            for t in self.trends
+            for label, jump in t.changepoints
+        ]
+        if changepoints:
+            lines += ["", "## Changepoints", ""]
+            for metric, label, jump in changepoints:
+                direction = "worsened" if jump > 0 else "improved"
+                lines.append(f"- `{metric}` {direction} {abs(jump):.2%} at `{label}`")
+        lines += ["", f"**{self._verdict()}**", ""]
+        return "\n".join(lines)
+
+    def render_html(self) -> str:
+        """Self-contained HTML dashboard (no external assets)."""
+        rows = []
+        for t in self.trends:
+            ref = f"{t.reference:.6g}" if t.reference is not None else "&mdash;"
+            if t.rel_change is None:
+                change = "&mdash;"
+            else:
+                raw = -t.rel_change if t.metric in _LOWER_IS_WORSE else t.rel_change
+                change = f"{raw:+.2%}"
+            failed = (
+                t.gated
+                and t.rel_change is not None
+                and t.rel_change > self.threshold
+            )
+            flag = ("FAIL" if failed else "ok") if t.gated else "info"
+            cls = "fail" if failed else ("ok" if t.gated else "info")
+            rows.append(
+                f"<tr class='{cls}'><td><code>{t.metric}</code></td>"
+                f"<td class='spark'>{t.sparkline}</td><td>{ref}</td>"
+                f"<td>{t.latest:.6g}</td><td>{change}</td><td>{flag}</td></tr>"
+            )
+        verdict_cls = "ok" if self.ok else "fail"
+        points = " &rarr; ".join(f"<code>{n}</code>" for n in self.names)
+        return (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            "<title>Performance trajectory</title><style>"
+            "body{font-family:sans-serif;margin:2em}"
+            "table{border-collapse:collapse}"
+            "td,th{border:1px solid #ccc;padding:4px 10px;text-align:right}"
+            "td:first-child,th:first-child{text-align:left}"
+            ".spark{font-family:monospace;letter-spacing:1px}"
+            "tr.fail td{background:#fdd}"
+            ".verdict.ok{color:#070}.verdict.fail{color:#a00}"
+            "</style></head><body>"
+            "<h1>Performance trajectory</h1>"
+            f"<p>{len(self.names)} points: {points}; "
+            f"gate threshold {self.threshold:.1%}.</p>"
+            "<table><tr><th>metric</th><th>trend</th><th>median</th>"
+            "<th>latest</th><th>change</th><th>gate</th></tr>"
+            + "".join(rows)
+            + "</table>"
+            f"<p class='verdict {verdict_cls}'><b>{self._verdict()}</b></p>"
+            "</body></html>\n"
+        )
+
+
+def resolve_series(paths) -> list[Path]:
+    """Expand baseline arguments into the ordered report-file series.
+
+    Each element may be a file, a directory (expands to its sorted
+    ``BENCH_*.json``) or a glob pattern; the combined list keeps the
+    given order, de-duplicated, so mixing a directory with an explicit
+    candidate file works naturally.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    series: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            matches = [path]
+        elif path.is_dir():
+            matches = sorted(path.glob("BENCH_*.json"))
+        else:
+            matches = sorted(path.parent.glob(path.name))
+        if not matches:
+            raise FileNotFoundError(f"{raw}: no run reports found")
+        for match in matches:
+            if match not in series:
+                series.append(match)
+    return series
+
+
+def analyze_reports(
+    named_reports: list[tuple[str, dict]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Trajectory:
+    """Build the trajectory from ``(label, run-report dict)`` pairs."""
+    if not named_reports:
+        raise ValueError("empty report series")
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    names = [name for name, _ in named_reports]
+    flat = [(name, _flatten_metrics(report)) for name, report in named_reports]
+    metrics: list[str] = []
+    for _, values in flat:
+        for key in values:
+            if key not in metrics:
+                metrics.append(key)
+    ordered = [m for m in GATED_METRICS if m in metrics]
+    ordered += sorted(m for m in metrics if m not in ordered)
+    trends = []
+    notes = []
+    for name in ordered:
+        points = [(label, values[name]) for label, values in flat if name in values]
+        if not points:
+            continue
+        if len(points) < len(flat) and name in GATED_METRICS:
+            notes.append(
+                f"{name} is missing from {len(flat) - len(points)} point(s); "
+                "its trend uses only the points that carry it"
+            )
+        trends.append(_trend(name, points, threshold))
+    if len(named_reports) == 1:
+        notes.append("single point: no reference to gate against")
+    return Trajectory(names=names, trends=trends, threshold=threshold, notes=notes)
+
+
+def analyze_trajectory(
+    paths,
+    candidate: str | Path | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Trajectory:
+    """Load and analyze a series of run-report files.
+
+    ``paths`` is a file/directory/glob (or a list of them) of committed
+    baselines, ordered by filename; ``candidate`` — a fresh report — is
+    appended as the newest point and is what the gate judges.
+    """
+    from repro.obs.export import load_run_report
+
+    series = resolve_series(paths)
+    if candidate is not None:
+        candidate = Path(candidate)
+        series = [p for p in series if p.resolve() != candidate.resolve()]
+        series.append(candidate)
+    named = [(path.stem, load_run_report(path)) for path in series]
+    return analyze_reports(named, threshold=threshold)

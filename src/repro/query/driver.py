@@ -170,6 +170,7 @@ def _launch(graph, config, resolved, step_args, step_kwargs):
         threads=threads,
         trace=config.trace,
         tracer=config.tracer,
+        metrics=config.metrics,
     )
     return _run_resilient(
         config.nprocs,
@@ -206,6 +207,7 @@ def _base_meta(graph, config, resolved, fault_meta, level_profile) -> dict:
         "vector_dist": config.vector_dist,
         "level_profile": level_profile,
         "tracer": config.tracer,
+        "metrics": config.metrics,
         "faults": fault_meta,
     }
 

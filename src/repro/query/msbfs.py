@@ -121,6 +121,7 @@ class MSBFS1D:
         self.comm = comm
         self.charger = engine.charger
         self.obs = engine.obs
+        self.metrics = engine.metrics
         self.threads = engine.threads
         self.part = Partition1D(csr.n, comm.size)
         self.lo, self.hi = self.part.range_of(comm.rank)
@@ -132,6 +133,7 @@ class MSBFS1D:
             sieve=None,
             charger=engine.charger,
             tracer=engine.obs,
+            metrics=engine.metrics,
             faults=engine.faults,
         )
 
@@ -181,6 +183,8 @@ class MSBFS1D:
                     targets, sources, words, self.nlanes
                 )
                 charger.sort(candidates)
+                self.metrics.inc("lane_prune_candidates", float(candidates))
+                self.metrics.inc("lane_prune_kept", float(targets.size))
         with obs.span("ms-pack"):
             owners = self.part.owner_of(targets)
             send, xinfo = self.channel.pack_triples(

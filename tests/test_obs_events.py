@@ -1,0 +1,172 @@
+"""JSONL event log and collapsed-stack flamegraph export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import run_bfs
+from repro.obs import (
+    EVENTS_SCHEMA,
+    MetricsRegistry,
+    Tracer,
+    collapsed_stacks,
+    load_events_jsonl,
+    run_events,
+    validate_collapsed_stacks,
+    validate_events,
+    write_events_jsonl,
+    write_flamegraph,
+)
+from repro.query import run_query
+
+from tests.conftest import query_sources
+
+
+@pytest.fixture(scope="module")
+def instrumented(rmat_small):
+    """One traced + metered BFS run shared by the event/flame tests."""
+    result = run_bfs(
+        rmat_small, 5, "2d-dirop", nprocs=4, machine="hopper",
+        tracer=Tracer(), metrics=MetricsRegistry(),
+    )
+    return result
+
+
+class TestEventStream:
+    def test_header_frames_the_stream(self, instrumented):
+        events = run_events(instrumented)
+        head, tail = events[0], events[-1]
+        assert head["kind"] == "run" and head["schema"] == EVENTS_SCHEMA
+        assert head["algorithm"] == "2d-dirop"
+        assert head["nranks"] == instrumented.nranks
+        assert tail["kind"] == "end"
+        assert tail["events"] == len(events) - 1
+        validate_events(events)
+
+    def test_kinds_cover_the_run(self, instrumented):
+        kinds = {e["kind"] for e in run_events(instrumented)}
+        assert kinds >= {"run", "level", "span", "metric", "end"}
+        levels = [
+            e for e in run_events(instrumented) if e["kind"] == "level"
+        ]
+        # One level event per (rank, level): direction metadata rides on.
+        assert len(levels) == instrumented.nlevels * instrumented.nranks
+        assert all(e["direction"] in ("top-down", "bottom-up") for e in levels)
+
+    def test_span_events_are_time_ordered(self, instrumented):
+        events = run_events(instrumented)
+        times = [
+            e["t"]
+            for e in events
+            if e["kind"] in ("level", "span", "instant", "fault", "checkpoint")
+        ]
+        assert times == sorted(times)
+        assert times[-1] <= events[-1]["t"]
+
+    def test_metric_events_mirror_the_registry(self, instrumented):
+        registry = instrumented.meta["metrics"]
+        metric_events = [
+            e for e in run_events(instrumented) if e["kind"] == "metric"
+        ]
+        assert metric_events
+        total = sum(
+            e["value"]
+            for e in metric_events
+            if e["name"] == "comm_wire_words" and e["type"] == "counter"
+        )
+        assert total == registry.counter_value("comm_wire_words")
+
+    def test_fault_and_checkpoint_events_surface(self, rmat_small):
+        result = run_bfs(
+            rmat_small, 5, "1d", nprocs=4, machine="hopper",
+            tracer=Tracer(), faults="timeout:level=1", checkpoint_every=2,
+        )
+        kinds = {e["kind"] for e in run_events(result)}
+        assert "fault" in kinds and "checkpoint" in kinds
+
+    def test_query_run_header_carries_batch(self, rmat_small):
+        result = run_query(
+            rmat_small, query_sources(rmat_small, 5, 8),
+            algorithm="msbfs-1d", nprocs=4, machine="hopper", tracer=Tracer(),
+        )
+        head = run_events(result)[0]
+        assert head["query_kind"] == "msbfs" and head["batch"] == 8
+        levels = [e for e in run_events(result) if e["kind"] == "level"]
+        assert all(e["lanes"] == 8 for e in levels)
+
+    def test_write_load_round_trip(self, instrumented, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        count = write_events_jsonl(path, instrumented)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        assert all(json.loads(line) for line in lines)
+        events = load_events_jsonl(path)
+        validate_events(events)
+        assert events == run_events(instrumented)
+
+    def test_load_rejects_foreign_stream(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "something"}\n')
+        with pytest.raises(ValueError, match="not a"):
+            load_events_jsonl(path)
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_events_jsonl(path)
+
+    def test_validate_rejects_malformed(self, instrumented):
+        events = run_events(instrumented)
+        with pytest.raises(ValueError, match="empty"):
+            validate_events([])
+        with pytest.raises(ValueError, match="run header"):
+            validate_events(events[1:])
+        with pytest.raises(ValueError, match="end marker"):
+            validate_events(events[:-1])
+        shuffled = [events[0]] + events[1:-1][::-1] + [events[-1]]
+        with pytest.raises(ValueError, match="out of order"):
+            validate_events(shuffled)
+
+
+class TestFlamegraph:
+    def test_stacks_validate_and_root_at_ranks(self, instrumented, tmp_path):
+        path = tmp_path / "profile.folded"
+        count = write_flamegraph(path, instrumented)
+        text = path.read_text()
+        assert validate_collapsed_stacks(text) == count > 0
+        for line in text.splitlines():
+            assert line.startswith("rank")
+        # Levels appear as stack frames with their number.
+        assert any(";level:1;" in line or ";level:1 " in line
+                   for line in text.splitlines())
+
+    def test_total_weight_bounded_by_makespan(self, instrumented):
+        stacks = collapsed_stacks(instrumented.meta["tracer"])
+        total_us = sum(stacks.values())
+        bound = instrumented.time_total * 1e6 * instrumented.nranks
+        # Self-times partition each rank's span tree: the sum cannot
+        # exceed nranks * makespan (plus integer-rounding slack).
+        assert 0 < total_us <= bound + len(stacks)
+
+    def test_untimed_run_collapses_to_nothing(self, rmat_small, tmp_path):
+        result = run_bfs(rmat_small, 5, "1d", nprocs=4, tracer=Tracer())
+        assert collapsed_stacks(result.meta["tracer"]) == {}
+        path = tmp_path / "empty.folded"
+        assert write_flamegraph(path, result) == 0
+        assert path.read_text() == ""
+        assert validate_collapsed_stacks("") == 0
+
+    def test_write_requires_a_tracer(self, rmat_small, tmp_path):
+        result = run_bfs(rmat_small, 5, "1d", nprocs=4)
+        with pytest.raises(ValueError, match="no tracer"):
+            write_flamegraph(tmp_path / "x.folded", result)
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError, match="not 'stack weight'"):
+            validate_collapsed_stacks("loneframe\n")
+        with pytest.raises(ValueError, match="positive integer"):
+            validate_collapsed_stacks("a;b -3\n")
+        with pytest.raises(ValueError, match="positive integer"):
+            validate_collapsed_stacks("a;b 1.5\n")
+        with pytest.raises(ValueError, match="empty frame"):
+            validate_collapsed_stacks("a;;b 10\n")

@@ -83,6 +83,68 @@ class TestChromeTrace:
         with pytest.raises(ValueError, match="negative duration"):
             validate_chrome_trace({"traceEvents": [bad]})
 
+    def test_validate_rejects_bad_span_metadata(self):
+        ok = {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 0.0, "dur": 1.0}
+        for args, match in [
+            ({"level": -1}, "non-integer level"),
+            ({"level": 1.5}, "non-integer level"),
+            ({"lanes": 0}, "lanes outside"),
+            ({"lanes": 65}, "lanes outside"),
+        ]:
+            with pytest.raises(ValueError, match=match):
+                validate_chrome_trace({"traceEvents": [{**ok, "args": args}]})
+        validate_chrome_trace(
+            {"traceEvents": [{**ok, "args": {"level": 3, "lanes": 64}}]}
+        )
+
+    def test_validate_instant_scope(self):
+        instant = {"ph": "i", "pid": 0, "tid": 0, "name": "x", "ts": 0.0}
+        with pytest.raises(ValueError, match="valid scope"):
+            validate_chrome_trace({"traceEvents": [instant]})
+        validate_chrome_trace({"traceEvents": [{**instant, "s": "t"}]})
+
+
+class TestQueryChromeTrace:
+    """Satellite: traces of the batched-query kinds validate too."""
+
+    def _traced_query(self, graph, algorithm, **kwargs):
+        from tests.conftest import launch_any
+
+        tracer = Tracer()
+        result = launch_any(
+            graph, 5, algorithm, nprocs=4, machine="hopper",
+            tracer=tracer, **kwargs,
+        )
+        return result, tracer
+
+    @pytest.mark.parametrize("algorithm", ["msbfs-1d", "cc", "sssp-delta"])
+    def test_query_traces_validate(self, rmat_small, algorithm):
+        result, tracer = self._traced_query(rmat_small, algorithm, batch=8)
+        trace = chrome_trace(tracer)
+        validate_chrome_trace(trace)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in complete} == set(range(result.nranks))
+
+    def test_msbfs_levels_carry_lane_metadata(self, rmat_small):
+        result, tracer = self._traced_query(rmat_small, "msbfs-1d", batch=8)
+        trace = chrome_trace(tracer)
+        validate_chrome_trace(trace)
+        levels = [
+            e for e in trace["traceEvents"] if e.get("name") == "level"
+        ]
+        assert levels
+        assert all(e["args"]["lanes"] == result.batch for e in levels)
+
+    def test_landmark_trace_validates_with_lanes(self, rmat_small):
+        result, tracer = self._traced_query(rmat_small, "landmark", batch=8)
+        trace = chrome_trace(tracer)
+        validate_chrome_trace(trace)
+        levels = [
+            e for e in trace["traceEvents"] if e.get("name") == "level"
+        ]
+        # The index build is one inner msbfs sweep: one lane per landmark.
+        assert all(e["args"]["lanes"] == result.batch for e in levels)
+
 
 class TestRunReport:
     def test_report_contents(self, rmat_small):
@@ -124,3 +186,48 @@ class TestRunReport:
         path.write_text(json.dumps({"schema": "something-else"}))
         with pytest.raises(ValueError, match="not a run report"):
             load_run_report(path)
+
+    def test_older_schemas_still_load(self, rmat_small, tmp_path):
+        result, _tracer = _traced_run(rmat_small, "1d")
+        for old in ("repro.obs/run-report/v1", "repro.obs/run-report/v2"):
+            report = run_report(result)
+            report["schema"] = old
+            path = write_run_report(tmp_path / "old.json", report)
+            assert load_run_report(path)["schema"] == old
+
+    def test_bfs_report_has_empty_query_section(self, rmat_small):
+        result, _tracer = _traced_run(rmat_small, "1d")
+        report = run_report(result)
+        assert report["query"] is None
+        assert report["metrics"] is None  # no registry installed
+
+    def test_query_report_carries_throughput(self, rmat_small):
+        from repro.query import run_query
+        from tests.conftest import query_sources
+
+        result = run_query(
+            rmat_small, query_sources(rmat_small, 5, 8),
+            algorithm="msbfs-1d", nprocs=4, machine="hopper", tracer=Tracer(),
+        )
+        report = run_report(result)
+        assert report["query"]["kind"] == "msbfs"
+        assert report["query"]["batch"] == 8
+        assert report["query"]["queries_per_second"] == pytest.approx(
+            result.queries_per_second()
+        )
+        assert report["graph"]["batch"] == 8
+        # Vertex count stays the vertex count despite lane columns.
+        assert report["graph"]["n"] == rmat_small.n
+
+    def test_metered_report_embeds_metrics_snapshot(self, rmat_small):
+        from repro.obs import METRICS_SCHEMA, MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = run_bfs(
+            rmat_small, 5, "1d", nprocs=4, machine="hopper", metrics=registry
+        )
+        report = run_report(result)
+        assert report["metrics"]["schema"] == METRICS_SCHEMA
+        wire = report["metrics"]["metrics"]["comm_wire_words"]
+        assert wire["type"] == "counter"
+        assert sum(wire["series"].values()) == result.stats.wire_words()

@@ -43,7 +43,8 @@ class TestCompareReports:
         diff = compare_reports(report, report)
         assert diff.ok and not diff.regressions
         gated = {d.name: d for d in diff.deltas if d.gated}
-        assert set(gated) == set(GATED_METRICS)
+        # BFS reports have no query section, so the query gate is absent.
+        assert set(gated) == {"time.total", "gteps"}
         assert all(d.rel_change == 0.0 for d in gated.values())
         assert "PASS" in diff.render()
 
@@ -134,7 +135,10 @@ class TestFaultAccounting:
     def test_equal_recovery_profiles_gate_normally(self, recovered_report):
         diff = compare_reports(recovered_report, recovered_report)
         assert diff.ok and not diff.notes
-        assert {d.name for d in diff.deltas if d.gated} == set(GATED_METRICS)
+        assert {d.name for d in diff.deltas if d.gated} == {
+            "time.total",
+            "gteps",
+        }
         slow = _slowed(recovered_report, 1.10)
         assert not compare_reports(recovered_report, slow, threshold=0.05).ok
 
@@ -149,6 +153,89 @@ class TestFaultAccounting:
         diff = compare_reports(loaded, report)
         assert diff.ok and not diff.notes
         assert any(d.gated for d in diff.deltas)
+
+
+@pytest.fixture(scope="module")
+def query_report(rmat_small):
+    from repro.query import run_query
+
+    result = run_query(
+        rmat_small, [1, 5, 9], algorithm="msbfs-1d", nprocs=4, machine="hopper"
+    )
+    return run_report(result)
+
+
+class TestQueryGate:
+    """Satellite: perf-diff covers batched-query (QueryResult) reports."""
+
+    def test_query_report_gates_on_throughput(self, query_report):
+        diff = compare_reports(query_report, query_report)
+        assert diff.ok
+        gated = {d.name for d in diff.deltas if d.gated}
+        assert "query.queries_per_second" in gated
+        assert "query.queries_per_second" in GATED_METRICS
+
+    def test_throughput_drop_fails(self, query_report):
+        worse = copy.deepcopy(query_report)
+        worse["query"]["queries_per_second"] *= 0.8
+        diff = compare_reports(query_report, worse, threshold=0.05)
+        assert not diff.ok
+        assert [d.name for d in diff.regressions] == ["query.queries_per_second"]
+        assert diff.regressions[0].rel_change == pytest.approx(0.2)
+
+    def test_batch_is_informational(self, query_report):
+        bigger = copy.deepcopy(query_report)
+        bigger["query"]["batch"] = 64
+        diff = compare_reports(query_report, bigger)
+        assert diff.ok
+        assert "query.batch" in {d.name for d in diff.deltas}
+
+    def test_bfs_vs_query_never_gates_on_query(self, report, query_report):
+        # Metric present on only one side: shown at most, never gated.
+        diff = compare_reports(report, query_report)
+        assert not any(
+            d.gated for d in diff.deltas if d.name.startswith("query.")
+        )
+
+
+class TestResolveBaseline:
+    def _seed(self, tmp_path, report, names):
+        for name in names:
+            write_run_report(tmp_path / name, report)
+
+    def test_plain_file_passes_through(self, report, tmp_path):
+        path = write_run_report(tmp_path / "a.json", report)
+        from repro.obs.regress import resolve_baseline
+
+        assert resolve_baseline(path) == path
+
+    def test_directory_picks_latest_bench(self, report, tmp_path):
+        from repro.obs.regress import resolve_baseline
+
+        self._seed(
+            tmp_path, report,
+            ["BENCH_2026-01.json", "BENCH_2026-03.json", "BENCH_2026-02.json"],
+        )
+        assert resolve_baseline(tmp_path).name == "BENCH_2026-03.json"
+
+    def test_glob_picks_latest_match(self, report, tmp_path):
+        from repro.obs.regress import resolve_baseline
+
+        self._seed(tmp_path, report, ["BENCH_pr1.json", "BENCH_pr2.json"])
+        chosen = resolve_baseline(tmp_path / "BENCH_pr*.json")
+        assert chosen.name == "BENCH_pr2.json"
+
+    def test_empty_directory_raises(self, tmp_path):
+        from repro.obs.regress import resolve_baseline
+
+        with pytest.raises(FileNotFoundError, match="BENCH_"):
+            resolve_baseline(tmp_path)
+
+    def test_perf_diff_accepts_directory(self, report, tmp_path):
+        self._seed(tmp_path, report, ["BENCH_base.json"])
+        candidate = write_run_report(tmp_path / "cand.json", report)
+        diff = perf_diff(tmp_path, candidate)
+        assert diff.ok and "BENCH_base.json" in diff.baseline
 
 
 class TestPerfDiffCli:

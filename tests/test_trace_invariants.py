@@ -173,6 +173,51 @@ class TestTrace2D:
         )
 
 
+class TestTraceLandmark:
+    """The landmark index build is one traced 64-way msbfs sweep, so its
+    trace must agree with the index it returns."""
+
+    @pytest.fixture(scope="class")
+    def traced_index(self, graph, source):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        res = launch_any(
+            graph, source, "landmark", nprocs=4, trace=True, batch=8,
+            tracer=tracer,
+        )
+        return res, tracer
+
+    def test_index_build_lanes_are_the_landmarks(self, traced_index):
+        res, _tracer = traced_index
+        index = res.meta["index"]
+        assert index.k == res.batch == 8
+        profile = res.meta["level_profile"]
+        assert all(lvl["lanes"] == index.k for lvl in profile)
+
+    def test_index_distances_match_the_sweep(self, traced_index):
+        res, _tracer = traced_index
+        index = res.meta["index"]
+        # Each landmark is at distance 0 of its own lane, and every
+        # finite distance was discovered in some traced level.
+        for lane, landmark in enumerate(index.landmarks):
+            assert res.levels[landmark, lane] == 0
+        finite = res.levels[res.levels >= 1]
+        assert finite.size and finite.max() <= len(res.meta["level_profile"])
+
+    def test_index_build_spans_cover_every_level(self, traced_index):
+        res, tracer = traced_index
+        for rank in tracer.ranks:
+            level_spans = [
+                s for s in tracer.spans_for(rank) if s.phase == "level"
+            ]
+            assert len(level_spans) == res.nlevels
+            assert all(s.meta.get("lanes") == res.batch for s in level_spans)
+            assert [s.level for s in level_spans] == list(
+                range(1, res.nlevels + 1)
+            )
+
+
 class TestTraceDirop:
     def test_non_dirop_traces_have_no_direction(self, graph, source):
         res = run_bfs(graph, source, "1d", nprocs=4, trace=True)

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.comm.varint import (
     bytes_to_words,
     decode_varints,
@@ -104,15 +105,11 @@ def _as_pairs(targets, parents) -> tuple[np.ndarray, np.ndarray]:
 
 def _delta_stream(sorted_values: np.ndarray) -> np.ndarray:
     """First value absolute, the rest as (non-negative) deltas."""
-    deltas = np.empty_like(sorted_values)
-    if sorted_values.size:
-        deltas[0] = sorted_values[0]
-        np.subtract(sorted_values[1:], sorted_values[:-1], out=deltas[1:])
-    return deltas
+    return kernels.delta_encode(sorted_values)
 
 
 def _undelta(deltas: np.ndarray) -> np.ndarray:
-    return np.cumsum(deltas.view(np.uint64), dtype=np.uint64).view(np.int64)
+    return kernels.delta_decode(deltas)
 
 
 class Codec:
@@ -328,7 +325,7 @@ class BitmapCodec(Codec):
         if ctx is None:
             raise ValueError("bitmap set encoding requires a VertexRange ctx")
         return pack_frontier_bitmap(
-            np.unique(vertices), ctx.lo, ctx.nbits
+            kernels.unique_sorted(vertices), ctx.lo, ctx.nbits
         ).view(np.int64)
 
     def decode_set(self, wire, ctx=None, dense=False):

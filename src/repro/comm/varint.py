@@ -1,4 +1,4 @@
-"""Vectorized LEB128 variable-length integer packing.
+"""LEB128 variable-length integer packing for the compressed codecs.
 
 The delta-varint wire format (Lv et al., "Compression and Sieve":
 arXiv:1208.5542) packs each integer into the minimum number of 7-bit
@@ -7,67 +7,37 @@ continuation.  Sorted vertex ids delta-encode into tiny values, so a
 scale-``s`` traversal ships 2-3 bytes per id instead of the 8-byte word
 the raw format costs.
 
-Both directions are fully vectorized: the per-value byte count is a sum
-of threshold comparisons, and the byte scatter/gather runs one NumPy pass
-per byte *position* (at most :data:`MAX_VARINT_BYTES` passes), never one
-per value.
+The per-value group loops dispatch through :mod:`repro.kernels`
+(``varint_sizes`` / ``varint_encode`` / ``varint_decode``), so the
+``REPRO_KERNELS`` backend switch applies: the numpy backend runs one
+pass per byte *position* (at most :data:`MAX_VARINT_BYTES` passes),
+never one per value.  Word padding stays here — it is a flat
+pad-and-view, not a per-element loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
+
 #: A 64-bit value needs at most ceil(64 / 7) = 10 LEB128 bytes.
-MAX_VARINT_BYTES = 10
+MAX_VARINT_BYTES = kernels.MAX_VARINT_BYTES
 
 
 def varint_sizes(values: np.ndarray) -> np.ndarray:
-    """Encoded byte count of each value (vectorized)."""
-    values = np.ascontiguousarray(values).view(np.uint64)
-    sizes = np.ones(values.size, dtype=np.int64)
-    for k in range(1, MAX_VARINT_BYTES):
-        sizes += (values >= (np.uint64(1) << np.uint64(7 * k))).astype(np.int64)
-    return sizes
+    """Encoded byte count of each value."""
+    return kernels.varint_sizes(values)
 
 
 def encode_varints(values: np.ndarray) -> np.ndarray:
     """LEB128-encode a 64-bit array into a ``uint8`` stream."""
-    values = np.ascontiguousarray(values, dtype=np.int64).view(np.uint64)
-    if values.size == 0:
-        return np.empty(0, dtype=np.uint8)
-    sizes = varint_sizes(values)
-    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    out = np.empty(int(sizes.sum()), dtype=np.uint8)
-    for j in range(int(sizes.max())):
-        sel = sizes > j
-        group = (values[sel] >> np.uint64(7 * j)) & np.uint64(0x7F)
-        byte = group.astype(np.uint8)
-        byte |= ((sizes[sel] - 1 > j).astype(np.uint8)) << 7
-        out[starts[sel] + j] = byte
-    return out
+    return kernels.varint_encode(values)
 
 
 def decode_varints(stream: np.ndarray) -> np.ndarray:
     """Inverse of :func:`encode_varints`; returns ``int64`` values."""
-    stream = np.ascontiguousarray(stream, dtype=np.uint8)
-    if stream.size == 0:
-        return np.empty(0, dtype=np.int64)
-    terminal = (stream & 0x80) == 0
-    if not terminal[-1]:
-        raise ValueError("truncated varint stream: last byte has continuation bit")
-    ends = np.flatnonzero(terminal)
-    starts = np.concatenate([[0], ends[:-1] + 1])
-    lengths = ends - starts + 1
-    if int(lengths.max()) > MAX_VARINT_BYTES:
-        raise ValueError(
-            f"varint longer than {MAX_VARINT_BYTES} bytes in stream"
-        )
-    values = np.zeros(ends.size, dtype=np.uint64)
-    for j in range(int(lengths.max())):
-        sel = lengths > j
-        group = stream[starts[sel] + j].astype(np.uint64) & np.uint64(0x7F)
-        values[sel] |= group << np.uint64(7 * j)
-    return values.view(np.int64)
+    return kernels.varint_decode(stream)
 
 
 def bytes_to_words(stream: np.ndarray) -> np.ndarray:

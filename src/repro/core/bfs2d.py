@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.comm import (
     CommChannel,
     VertexRange,
@@ -218,12 +219,11 @@ class SpMSV2D:
             if decomp.is_square:
                 return grid.transpose_vector(frontier)
             dest_cols = decomp.col_block_of(frontier)
-            order = np.argsort(dest_cols, kind="stable")
-            routed = frontier[order]
-            counts = np.bincount(dest_cols, minlength=decomp.pc)
-            offs = np.concatenate([[0], np.cumsum(counts)])
+            grouped, _counts = kernels.bucket_by_owner(
+                dest_cols, decomp.pc, frontier
+            )
             transposed, _cnt = grid.row_comm.alltoallv_concat(
-                [routed[offs[j] : offs[j + 1]] for j in range(decomp.pc)]
+                [piece for (piece,) in grouped]
             )
             return transposed
 

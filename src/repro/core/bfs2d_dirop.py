@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.comm import restore_sieve, sieve_state
 from repro.core.bfs2d import SpMSV2D
 from repro.core.bfs_dirop import BOTTOM_UP, TOP_DOWN
@@ -241,12 +242,9 @@ class DirOpt2D(SpMSV2D):
                 )
                 flat = np.repeat(self.bu_indptr[active], counts) + offsets
                 targets = self.bu_cols[flat]
-                hit_pos = np.where(
-                    fmask[targets - self.col_lo],
-                    np.arange(targets.size),
-                    -1,
+                last_hit = kernels.last_hit_scan(
+                    fmask[targets - self.col_lo], starts, counts
                 )
-                last_hit = np.maximum.reduceat(hit_pos, starts)
                 has_parent = last_hit >= 0
                 trows = (active + self.row_lo)[has_parent]
                 tvals = targets[last_hit[has_parent]]

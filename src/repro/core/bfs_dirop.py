@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.comm import CommChannel, make_sieve, restore_sieve, sieve_state
 from repro.core.engine import (
     LevelOutcome,
@@ -129,8 +130,7 @@ def _bottomup_level(
         if active.size:
             ends = np.cumsum(counts)
             starts = ends - counts
-            hit_pos = np.where(bitmap[targets], np.arange(targets.size), -1)
-            last_hit = np.maximum.reduceat(hit_pos, starts)
+            last_hit = kernels.last_hit_scan(bitmap[targets], starts, counts)
             has_parent = last_hit >= 0
             new = active[has_parent]
             new_parents = targets[last_hit[has_parent]]

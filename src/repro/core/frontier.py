@@ -1,6 +1,6 @@
 """Frontier manipulation primitives shared by the BFS variants.
 
-These are the vectorized counterparts of the per-edge loops in
+These are the kernel-backed counterparts of the per-edge loops in
 Algorithms 1-3: candidate deduplication with deterministic (select, max)
 parent resolution, interleaved (vertex, parent) wire format for the
 exchange buffers, and destination bucketing for the all-to-all.
@@ -9,11 +9,18 @@ The direction-optimizing 1D variant adds frontier-density bookkeeping:
 a packed 64-bit frontier bitmap (the ``Allgatherv`` payload of the
 bottom-up expand) and the Beamer-style density predicates that decide
 when the traversal flips between top-down and bottom-up sweeps.
+
+This module owns input validation and the paper-facing semantics; the
+per-element work dispatches through :mod:`repro.kernels`, so the
+``REPRO_KERNELS`` backend switch (vectorized numpy vs. pure-python
+reference) applies to every caller at once, bit-identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro import kernels
 
 #: Bits per bitmap word; the paper counts 64-bit words, so one frontier
 #: bitmap costs ``ceil(n_local / 64)`` words on the wire.
@@ -33,29 +40,7 @@ def dedup_candidates(
     parents = np.asarray(parents, dtype=np.int64)
     if targets.size == 0:
         return targets, parents
-    # Python-int span: ``parents.max() + 1`` would wrap int64 for parents
-    # near 2**63 and silently corrupt the composite keys below.
-    span = int(parents.max()) + 1
-    if 0 <= parents.min() and span <= (1 << 62) and targets.max() < (1 << 62) // span:
-        # Composite-key quicksort (targets major, parents minor) is far
-        # faster than lexsort; the max parent of each target is the last
-        # entry of its run.
-        span = np.int64(span)
-        key = targets * span + parents
-        key.sort()
-        last = np.empty(key.size, dtype=bool)
-        last[-1] = True
-        out_targets = key // span
-        np.not_equal(out_targets[1:], out_targets[:-1], out=last[:-1])
-        key = key[last]
-        out_targets = out_targets[last]
-        return out_targets, key - out_targets * span
-    order = np.lexsort((parents, targets))
-    targets, parents = targets[order], parents[order]
-    last = np.empty(targets.size, dtype=bool)
-    last[-1] = True
-    np.not_equal(targets[1:], targets[:-1], out=last[:-1])
-    return targets[last], parents[last]
+    return kernels.dedup_max(targets, parents)
 
 
 def pack_pairs(vertices: np.ndarray, parents: np.ndarray) -> np.ndarray:
@@ -65,22 +50,12 @@ def pack_pairs(vertices: np.ndarray, parents: np.ndarray) -> np.ndarray:
     per level (the 1D algorithm's only collective), and the layout
     ``[v0, p0, v1, p1, ...]`` keeps each pair contiguous.
     """
-    vertices = np.asarray(vertices, dtype=np.int64)
-    parents = np.asarray(parents, dtype=np.int64)
-    if vertices.shape != parents.shape:
-        raise ValueError("vertices/parents must be equal length")
-    out = np.empty(2 * vertices.size, dtype=np.int64)
-    out[0::2] = vertices
-    out[1::2] = parents
-    return out
+    return kernels.pack_pairs(vertices, parents)
 
 
 def unpack_pairs(buf: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Inverse of :func:`pack_pairs`."""
-    buf = np.asarray(buf, dtype=np.int64)
-    if buf.size % 2:
-        raise ValueError(f"pair buffer has odd length {buf.size}")
-    return buf[0::2], buf[1::2]
+    return kernels.unpack_pairs(buf)
 
 
 def build_send_buffers(
@@ -95,19 +70,12 @@ def build_send_buffers(
     destination, split at bucket boundaries, interleave each bucket with
     :func:`pack_pairs`.  Returns one buffer per destination rank.
     """
-    owners = np.asarray(owners, dtype=np.int64)
-    order = np.argsort(owners, kind="stable")
-    targets = np.asarray(targets, dtype=np.int64)[order]
-    parents = np.asarray(parents, dtype=np.int64)[order]
-    counts = np.bincount(owners, minlength=nbuckets)
-    offsets = np.concatenate([[0], np.cumsum(counts)])
-    return [
-        pack_pairs(
-            targets[offsets[j] : offsets[j + 1]],
-            parents[offsets[j] : offsets[j + 1]],
-        )
-        for j in range(nbuckets)
-    ]
+    targets = np.asarray(targets, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    grouped, _counts = kernels.bucket_by_owner(
+        np.asarray(owners, dtype=np.int64), nbuckets, targets, parents
+    )
+    return [kernels.pack_pairs(t, p) for t, p in grouped]
 
 
 def bitmap_words(nbits: int) -> int:
@@ -128,12 +96,7 @@ def pack_frontier_bitmap(vertices: np.ndarray, lo: int, nbits: int) -> np.ndarra
     vertices = np.asarray(vertices, dtype=np.int64)
     if vertices.size and (vertices.min() < lo or vertices.max() >= lo + nbits):
         raise ValueError(f"vertices out of owned range [{lo}, {lo + nbits})")
-    bits = np.zeros(nbits, dtype=np.uint8)
-    bits[vertices - lo] = 1
-    packed = np.packbits(bits, bitorder="little")
-    out = np.zeros(8 * bitmap_words(nbits), dtype=np.uint8)
-    out[: packed.size] = packed
-    return out.view(np.uint64)
+    return kernels.pack_bitmap(vertices, lo, nbits)
 
 
 def unpack_frontier_bitmap(words: np.ndarray, nbits: int) -> np.ndarray:
@@ -143,11 +106,7 @@ def unpack_frontier_bitmap(words: np.ndarray, nbits: int) -> np.ndarray:
         raise ValueError(
             f"expected {bitmap_words(nbits)} words for {nbits} bits, got {words.size}"
         )
-    if nbits == 0:
-        return np.zeros(0, dtype=bool)
-    return np.unpackbits(
-        words.view(np.uint8), count=nbits, bitorder="little"
-    ).astype(bool)
+    return kernels.unpack_bitmap(words, nbits)
 
 
 def should_switch_bottom_up(
@@ -182,18 +141,9 @@ def bucket_by_owner(
     """Group parallel arrays by destination rank.
 
     Returns one tuple of sub-arrays per bucket (in bucket order) plus the
-    per-bucket counts.  Uses a stable counting-sort-style argsort, the
+    per-bucket counts.  The stable counting-sort-style grouping is the
     vectorized version of Algorithm 2's per-thread ``tBuf`` packing.
     """
-    owners = np.asarray(owners, dtype=np.int64)
-    if owners.size and (owners.min() < 0 or owners.max() >= nbuckets):
-        raise ValueError(f"owners out of range [0, {nbuckets})")
-    order = np.argsort(owners, kind="stable")
-    counts = np.bincount(owners, minlength=nbuckets).astype(np.int64)
-    splits = np.cumsum(counts)[:-1]
-    grouped = []
-    for bucket_parts in zip(
-        *(np.split(np.asarray(a)[order], splits) for a in arrays)
-    ):
-        grouped.append(tuple(bucket_parts))
-    return grouped, counts
+    return kernels.bucket_by_owner(
+        np.asarray(owners, dtype=np.int64), nbuckets, *arrays
+    )

@@ -1,0 +1,258 @@
+"""Vectorized numpy implementations of the hot-path kernels.
+
+The production backend of :mod:`repro.kernels`: every kernel is one or
+a few whole-array numpy passes — a pass per byte *position* for the
+varints, per *lane* for the prune, per *run boundary* for the reductions
+— never a pass per value.  Semantics (values, dtypes, error messages)
+are defined by the pure-python reference in
+:mod:`repro.kernels.reference`; the differential suite asserts the two
+agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: A 64-bit value needs at most ceil(64 / 7) = 10 LEB128 bytes.
+MAX_VARINT_BYTES = 10
+
+_WORD_BITS = 64
+
+
+def dedup_max(targets, parents):
+    targets = np.asarray(targets, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    if targets.size == 0:
+        return targets, parents
+    # Python-int span: ``parents.max() + 1`` would wrap int64 for parents
+    # near 2**63 and silently corrupt the composite keys below.
+    span = int(parents.max()) + 1
+    if 0 <= parents.min() and span <= (1 << 62) and targets.max() < (1 << 62) // span:
+        # Composite-key quicksort (targets major, parents minor) is far
+        # faster than lexsort; the max parent of each target is the last
+        # entry of its run.
+        span = np.int64(span)
+        key = targets * span + parents
+        key.sort()
+        last = np.empty(key.size, dtype=bool)
+        last[-1] = True
+        out_targets = key // span
+        np.not_equal(out_targets[1:], out_targets[:-1], out=last[:-1])
+        key = key[last]
+        out_targets = out_targets[last]
+        return out_targets, key - out_targets * span
+    order = np.lexsort((parents, targets))
+    targets, parents = targets[order], parents[order]
+    last = np.empty(targets.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(targets[1:], targets[:-1], out=last[:-1])
+    return targets[last], parents[last]
+
+
+_RUN_UFUNCS = {"min": np.minimum, "or": np.bitwise_or}
+
+
+def reduce_runs(keys, values, op):
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values, dtype=np.uint64 if op == "or" else np.int64)
+    if op == "max":
+        return dedup_max(keys, values)
+    ufunc = _RUN_UFUNCS[op]
+    if keys.size == 0:
+        return keys, values
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+    starts = np.empty(keys.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=starts[1:])
+    idx = np.flatnonzero(starts)
+    return keys[idx], ufunc.reduceat(values, idx)
+
+
+_AT_UFUNCS = {"max": np.maximum, "min": np.minimum, "or": np.bitwise_or}
+
+
+def scatter_reduce(dense, positions, values, op):
+    _AT_UFUNCS[op].at(dense, positions, values)
+
+
+def bucket_by_owner(owners, nbuckets, *arrays):
+    owners = np.asarray(owners, dtype=np.int64)
+    if owners.size and (owners.min() < 0 or owners.max() >= nbuckets):
+        raise ValueError(f"owners out of range [0, {nbuckets})")
+    order = np.argsort(owners, kind="stable")
+    counts = np.bincount(owners, minlength=nbuckets).astype(np.int64)
+    splits = np.cumsum(counts)[:-1]
+    grouped = []
+    for bucket_parts in zip(
+        *(np.split(np.asarray(a)[order], splits) for a in arrays)
+    ):
+        grouped.append(tuple(bucket_parts))
+    return grouped, counts
+
+
+def pack_pairs(vertices, parents):
+    vertices = np.asarray(vertices, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    if vertices.shape != parents.shape:
+        raise ValueError("vertices/parents must be equal length")
+    out = np.empty(2 * vertices.size, dtype=np.int64)
+    out[0::2] = vertices
+    out[1::2] = parents
+    return out
+
+
+def unpack_pairs(buf):
+    buf = np.asarray(buf, dtype=np.int64)
+    if buf.size % 2:
+        raise ValueError(f"pair buffer has odd length {buf.size}")
+    return buf[0::2], buf[1::2]
+
+
+def _bitmap_nwords(nbits):
+    return (nbits + _WORD_BITS - 1) // _WORD_BITS
+
+
+def pack_bitmap(vertices, lo, nbits):
+    vertices = np.asarray(vertices, dtype=np.int64)
+    bits = np.zeros(nbits, dtype=np.uint8)
+    bits[vertices - lo] = 1
+    packed = np.packbits(bits, bitorder="little")
+    out = np.zeros(8 * _bitmap_nwords(nbits), dtype=np.uint8)
+    out[: packed.size] = packed
+    return out.view(np.uint64)
+
+
+def unpack_bitmap(words, nbits):
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if nbits == 0:
+        return np.zeros(0, dtype=bool)
+    return np.unpackbits(
+        words.view(np.uint8), count=nbits, bitorder="little"
+    ).astype(bool)
+
+
+def popcount(words):
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).astype(np.int64)
+    # numpy < 2.0: per-byte popcount via a 256-entry lookup table.
+    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+    return table[words.view(np.uint8)].reshape(-1, 8).sum(axis=1)
+
+
+def last_hit_scan(hits, starts, counts):
+    hits = np.asarray(hits, dtype=bool)
+    starts = np.asarray(starts, dtype=np.int64)
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    hit_pos = np.where(hits, np.arange(hits.size), -1)
+    return np.maximum.reduceat(hit_pos, starts)
+
+
+def lane_prune(targets, sources, words, nlanes):
+    targets = np.asarray(targets, dtype=np.int64)
+    sources = np.asarray(sources, dtype=np.int64)
+    words = np.asarray(words, dtype=np.uint64)
+    if targets.size == 0:
+        return targets, sources, words
+    tmin, tmax = int(targets.min()), int(targets.max())
+    smin, smax = int(sources.min()), int(sources.max())
+    if tmin >= 0 and smin >= 0 and tmax + 1 <= (1 << 62) // (smax + 1):
+        # Composite single-key stable sort (targets asc, sources desc);
+        # one radix/merge pass beats lexsort's two.  Python-int guard
+        # keeps the key clear of int64 wrap, mirroring dedup_max.
+        span = np.int64(smax + 1)
+        key = targets * span + (np.int64(smax) - sources)
+        order = np.argsort(key, kind="stable")
+    else:
+        order = np.lexsort((-sources, targets))
+    targets, sources, words = targets[order], sources[order], words[order]
+    run_start = np.empty(targets.size, dtype=bool)
+    run_start[0] = True
+    np.not_equal(targets[1:], targets[:-1], out=run_start[1:])
+    # A candidate survives iff it carries a lane bit (below ``nlanes``)
+    # that no higher-source candidate of its target carries: its word
+    # must add a fresh bit over the run's exclusive prefix OR.  The
+    # prefix OR is a Hillis-Steele doubling scan — O(log max-run-length)
+    # whole-array passes instead of one pass per lane.
+    lanes = np.uint64((1 << nlanes) - 1)
+    inc = words & lanes
+    live = inc.copy()
+    off = 1
+    while off < inc.size:
+        same = targets[off:] == targets[:-off]
+        if not same.any():
+            break
+        inc[off:][same] |= inc[:-off][same]
+        off <<= 1
+    ex = np.zeros_like(inc)
+    ex[1:] = inc[:-1]
+    ex[run_start] = 0
+    keep = (live & ~ex) != 0
+    return targets[keep], sources[keep], words[keep]
+
+
+def unique_sorted(values):
+    return np.unique(np.asarray(values, dtype=np.int64))
+
+
+def varint_sizes(values):
+    values = np.ascontiguousarray(values).view(np.uint64)
+    sizes = np.ones(values.size, dtype=np.int64)
+    for k in range(1, MAX_VARINT_BYTES):
+        sizes += (values >= (np.uint64(1) << np.uint64(7 * k))).astype(np.int64)
+    return sizes
+
+
+def varint_encode(values):
+    values = np.ascontiguousarray(values, dtype=np.int64).view(np.uint64)
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    sizes = varint_sizes(values)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    out = np.empty(int(sizes.sum()), dtype=np.uint8)
+    for j in range(int(sizes.max())):
+        sel = sizes > j
+        group = (values[sel] >> np.uint64(7 * j)) & np.uint64(0x7F)
+        byte = group.astype(np.uint8)
+        byte |= ((sizes[sel] - 1 > j).astype(np.uint8)) << 7
+        out[starts[sel] + j] = byte
+    return out
+
+
+def varint_decode(stream):
+    stream = np.ascontiguousarray(stream, dtype=np.uint8)
+    if stream.size == 0:
+        return np.empty(0, dtype=np.int64)
+    terminal = (stream & 0x80) == 0
+    if not terminal[-1]:
+        raise ValueError("truncated varint stream: last byte has continuation bit")
+    ends = np.flatnonzero(terminal)
+    starts = np.concatenate([[0], ends[:-1] + 1])
+    lengths = ends - starts + 1
+    if int(lengths.max()) > MAX_VARINT_BYTES:
+        raise ValueError(
+            f"varint longer than {MAX_VARINT_BYTES} bytes in stream"
+        )
+    values = np.zeros(ends.size, dtype=np.uint64)
+    for j in range(int(lengths.max())):
+        sel = lengths > j
+        group = stream[starts[sel] + j].astype(np.uint64) & np.uint64(0x7F)
+        values[sel] |= group << np.uint64(7 * j)
+    return values.view(np.int64)
+
+
+def delta_encode(sorted_values):
+    sorted_values = np.asarray(sorted_values, dtype=np.int64)
+    deltas = np.empty_like(sorted_values)
+    if sorted_values.size:
+        deltas[0] = sorted_values[0]
+        np.subtract(sorted_values[1:], sorted_values[:-1], out=deltas[1:])
+    return deltas
+
+
+def delta_decode(deltas):
+    deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+    return np.cumsum(deltas.view(np.uint64), dtype=np.uint64).view(np.int64)

@@ -1,0 +1,280 @@
+"""Pure-python reference implementations of the hot-path kernels.
+
+The executable specification of :mod:`repro.kernels`: every kernel is a
+plain per-element python loop with no vectorization tricks, so its
+correctness is auditable by inspection.  The numpy backend is
+differentially tested against this module, and this module is what runs
+when numpy is not installed — it imports cleanly without numpy and
+operates on any indexable sequence, returning plain lists in that case.
+
+When numpy *is* importable (the usual case: the rest of the simulator
+needs it), outputs are coerced to numpy arrays with the same dtypes the
+vectorized backend produces, so full traversals under
+``REPRO_KERNELS=python`` stay bit-identical to the numpy backend —
+parents, levels, modeled times, wire words and trace spans included.
+
+64-bit semantics are emulated explicitly (``_wrap64`` / ``_MASK64``):
+the vectorized kernels compute in ``int64``/``uint64`` with wraparound,
+and the reference must produce the same bits for adversarial inputs
+near ``2**63``.
+"""
+
+from __future__ import annotations
+
+try:  # numpy is optional here: used only to coerce outputs.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the CI numpy-absent smoke
+    _np = None
+
+#: A 64-bit value needs at most ceil(64 / 7) = 10 LEB128 bytes.
+MAX_VARINT_BYTES = 10
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap64(value):
+    """Reinterpret an arbitrary python int as a signed 64-bit value."""
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _ints(seq):
+    """Materialize any indexable sequence as a list of python ints."""
+    return [int(x) for x in seq]
+
+
+def _uints(seq):
+    """As :func:`_ints` but reinterpreting each value as unsigned 64-bit."""
+    return [int(x) & _MASK64 for x in seq]
+
+
+def _i64(values):
+    return _np.asarray(values, dtype=_np.int64) if _np is not None else values
+
+
+def _u64(values):
+    return _np.asarray(values, dtype=_np.uint64) if _np is not None else values
+
+
+def _u8(values):
+    return _np.asarray(values, dtype=_np.uint8) if _np is not None else values
+
+
+def _bools(values):
+    if _np is not None:
+        return _np.asarray(values, dtype=bool)
+    return [bool(v) for v in values]
+
+
+def dedup_max(targets, parents):
+    best: dict = {}
+    for t, p in zip(_ints(targets), _ints(parents)):
+        cur = best.get(t)
+        if cur is None or p > cur:
+            best[t] = p
+    keys = sorted(best)
+    return _i64(keys), _i64([best[k] for k in keys])
+
+
+def reduce_runs(keys, values, op):
+    if op == "max":
+        return dedup_max(keys, values)
+    signed = op != "or"
+    vals = _ints(values) if signed else _uints(values)
+    acc: dict = {}
+    for k, v in zip(_ints(keys), vals):
+        cur = acc.get(k)
+        if cur is None:
+            acc[k] = v
+        elif op == "min":
+            acc[k] = min(cur, v)
+        else:
+            acc[k] = cur | v
+    out_keys = sorted(acc)
+    out_vals = [acc[k] for k in out_keys]
+    return _i64(out_keys), (_i64(out_vals) if signed else _u64(out_vals))
+
+
+def scatter_reduce(dense, positions, values, op):
+    signed = op != "or"
+    vals = _ints(values) if signed else _uints(values)
+    for p, v in zip(_ints(positions), vals):
+        cur = int(dense[p])
+        if op == "max":
+            if v > cur:
+                dense[p] = v
+        elif op == "min":
+            if v < cur:
+                dense[p] = v
+        else:
+            dense[p] = (cur & _MASK64) | v
+
+
+def bucket_by_owner(owners, nbuckets, *arrays):
+    owners = _ints(owners)
+    if owners and (min(owners) < 0 or max(owners) >= nbuckets):
+        raise ValueError(f"owners out of range [0, {nbuckets})")
+    buckets: list[list[int]] = [[] for _ in range(nbuckets)]
+    for i, owner in enumerate(owners):
+        buckets[owner].append(i)
+
+    def _gather(a, idx):
+        picked = [a[i] for i in idx]
+        if _np is None:
+            return picked
+        dtype = a.dtype if isinstance(a, _np.ndarray) else _np.int64
+        return _np.asarray(picked, dtype=dtype)
+
+    grouped = [tuple(_gather(a, idx) for a in arrays) for idx in buckets]
+    counts = _i64([len(idx) for idx in buckets])
+    return grouped, counts
+
+
+def pack_pairs(vertices, parents):
+    vertices = _ints(vertices)
+    parents = _ints(parents)
+    if len(vertices) != len(parents):
+        raise ValueError("vertices/parents must be equal length")
+    out = []
+    for v, p in zip(vertices, parents):
+        out.append(v)
+        out.append(p)
+    return _i64(out)
+
+
+def unpack_pairs(buf):
+    buf = _ints(buf)
+    if len(buf) % 2:
+        raise ValueError(f"pair buffer has odd length {len(buf)}")
+    return _i64(buf[0::2]), _i64(buf[1::2])
+
+
+def _bitmap_nwords(nbits):
+    return (nbits + 63) // 64
+
+
+def pack_bitmap(vertices, lo, nbits):
+    words = [0] * _bitmap_nwords(nbits)
+    for v in _ints(vertices):
+        bit = v - lo
+        words[bit >> 6] |= 1 << (bit & 63)
+    return _u64(words)
+
+
+def unpack_bitmap(words, nbits):
+    words = _uints(words)
+    return _bools(
+        [(words[i >> 6] >> (i & 63)) & 1 for i in range(nbits)]
+    )
+
+
+def popcount(words):
+    return _i64([bin(w).count("1") for w in _uints(words)])
+
+
+def last_hit_scan(hits, starts, counts):
+    hits = [bool(h) for h in hits]
+    out = []
+    for start, count in zip(_ints(starts), _ints(counts)):
+        last = -1
+        for j in range(start + count - 1, start - 1, -1):
+            if hits[j]:
+                last = j
+                break
+        out.append(last)
+    return _i64(out)
+
+
+def lane_prune(targets, sources, words, nlanes):
+    targets = _ints(targets)
+    sources = _ints(sources)
+    words = _uints(words)
+    n = len(targets)
+    if n == 0:
+        return _i64([]), _i64([]), _u64([])
+    order = sorted(range(n), key=lambda i: (targets[i], -sources[i]))
+    lane_mask = (1 << nlanes) - 1
+    out_t, out_s, out_w = [], [], []
+    seen = 0
+    prev_target = None
+    for i in order:
+        t = targets[i]
+        if t != prev_target:
+            prev_target = t
+            seen = 0
+        lanes = words[i] & lane_mask
+        if lanes & ~seen & lane_mask:
+            out_t.append(t)
+            out_s.append(sources[i])
+            out_w.append(words[i])
+        seen |= lanes
+    return _i64(out_t), _i64(out_s), _u64(out_w)
+
+
+def unique_sorted(values):
+    return _i64(sorted(set(_ints(values))))
+
+
+def _varint_size(unsigned):
+    size = 1
+    while size < MAX_VARINT_BYTES and unsigned >= (1 << (7 * size)):
+        size += 1
+    return size
+
+
+def varint_sizes(values):
+    return _i64([_varint_size(u) for u in _uints(values)])
+
+
+def varint_encode(values):
+    out = []
+    for u in _uints(values):
+        size = _varint_size(u)
+        for j in range(size):
+            group = (u >> (7 * j)) & 0x7F
+            out.append(group | 0x80 if j < size - 1 else group)
+    return _u8(out)
+
+
+def varint_decode(stream):
+    stream = _ints(stream)
+    if not stream:
+        return _i64([])
+    if stream[-1] & 0x80:
+        raise ValueError("truncated varint stream: last byte has continuation bit")
+    values = []
+    cur = 0
+    nbytes = 0
+    for byte in stream:
+        group = byte & 0x7F
+        # Shifts past bit 63 wrap exactly like the uint64 vector path.
+        cur = (cur | (group << (7 * nbytes))) & _MASK64
+        nbytes += 1
+        if nbytes > MAX_VARINT_BYTES:
+            raise ValueError(
+                f"varint longer than {MAX_VARINT_BYTES} bytes in stream"
+            )
+        if not byte & 0x80:
+            values.append(_wrap64(cur))
+            cur = 0
+            nbytes = 0
+    return _i64(values)
+
+
+def delta_encode(sorted_values):
+    sorted_values = _ints(sorted_values)
+    out = []
+    prev = 0
+    for i, v in enumerate(sorted_values):
+        out.append(_wrap64(v if i == 0 else v - prev))
+        prev = v
+    return _i64(out)
+
+
+def delta_decode(deltas):
+    out = []
+    acc = 0
+    for d in _uints(deltas):
+        acc = (acc + d) & _MASK64
+        out.append(_wrap64(acc))
+    return _i64(out)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.comm import CommChannel
 from repro.core.engine import LevelOutcome, TraversalEngine
 from repro.core.engine import partition_ranges as _partition_ranges
@@ -61,27 +62,7 @@ def prune_lane_candidates(
 
     Output is sorted by (target asc, source desc) — deterministic.
     """
-    if targets.size == 0:
-        return targets, sources, words
-    order = np.lexsort((-sources, targets))
-    targets, sources, words = targets[order], sources[order], words[order]
-    run_start = np.empty(targets.size, dtype=bool)
-    run_start[0] = True
-    np.not_equal(targets[1:], targets[:-1], out=run_start[1:])
-    run_id = np.cumsum(run_start) - 1
-    keep = np.zeros(targets.size, dtype=bool)
-    for b in range(nlanes):
-        idx = np.flatnonzero(words & lane_bit(b))
-        if idx.size == 0:
-            continue
-        # Within a target run the sources descend, so the first
-        # bit-carrying candidate of each run is the lane's max source.
-        runs = run_id[idx]
-        first = np.empty(idx.size, dtype=bool)
-        first[0] = True
-        np.not_equal(runs[1:], runs[:-1], out=first[1:])
-        keep[idx[first]] = True
-    return targets[keep], sources[keep], words[keep]
+    return kernels.lane_prune(targets, sources, words, nlanes)
 
 
 class MSBFS1D:
@@ -214,12 +195,13 @@ class MSBFS1D:
             self.visit[pos] |= won
             self.fwords.fill(0)
             self.fwords[pos] = won
-            lane_ops = 0
+            # Every fresh word only carries bits below nlanes, so the
+            # per-lane candidate count is the total set-bit count.
+            lane_ops = int(kernels.popcount(fresh).sum()) if fresh.size else 0
             for b in range(self.nlanes):
                 mask = (fresh & lane_bit(b)) != 0
                 if not mask.any():
                     continue
-                lane_ops += int(mask.sum())
                 tb, sb = dedup_candidates(rt[mask], rs[mask])
                 self.levels[tb - lo, b] = level
                 self.parents[tb - lo, b] = sb

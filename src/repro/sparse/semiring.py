@@ -33,24 +33,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
+
 #: "Infinity" for the min-combining semirings: large enough to dominate
 #: every real payload, small enough that ``identity + max_weight`` can
 #: never wrap int64 in a careless caller.
 INF = 1 << 62
-
-
-def _reduceat_runs(
-    keys: np.ndarray, values: np.ndarray, ufunc
-) -> tuple[np.ndarray, np.ndarray]:
-    """Combine ``values`` sharing a key with ``ufunc`` (stable sort + reduceat)."""
-    order = np.argsort(keys, kind="stable")
-    keys = keys[order]
-    values = values[order]
-    starts = np.empty(keys.size, dtype=bool)
-    starts[0] = True
-    np.not_equal(keys[1:], keys[:-1], out=starts[1:])
-    idx = np.flatnonzero(starts)
-    return keys[idx], ufunc.reduceat(values, idx)
 
 
 @dataclass(frozen=True)
@@ -73,13 +61,17 @@ class Semiring:
     #: lane-word semiring overrides this with ``uint64``.
     dtype = np.int64
 
+    #: Reduction op name dispatched to :mod:`repro.kernels`
+    #: (``scatter_reduce`` / ``reduce_runs``).
+    kernel_op = "max"
+
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Element-wise combine of two payload arrays."""
         raise NotImplementedError
 
     def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
         """In-place scatter-combine ``dense[positions] (+)= values``."""
-        raise NotImplementedError
+        kernels.scatter_reduce(dense, positions, values, self.kernel_op)
 
     def reduce_sorted_runs(
         self, keys: np.ndarray, values: np.ndarray
@@ -88,45 +80,21 @@ class Semiring:
 
         Returns unique keys in ascending order with their combined values.
         """
-        raise NotImplementedError
+        if keys.size == 0:
+            return keys, values
+        return kernels.reduce_runs(keys, values, self.kernel_op)
 
 
 class _SelectMax(Semiring):
     """The paper's (select, max) semiring with identity -1."""
+
+    kernel_op = "max"
 
     def __init__(self):
         super().__init__(name="select-max", identity=-1)
 
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.maximum(a, b)
-
-    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
-        np.maximum.at(dense, positions, values)
-
-    def reduce_sorted_runs(
-        self, keys: np.ndarray, values: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        if keys.size == 0:
-            return keys, values
-        span = np.int64(values.max()) + 1
-        if 0 <= values.min() and keys.max() < (1 << 62) // max(span, 1):
-            # Composite-key quicksort; the max value of each key run is
-            # the run's last entry (see core.frontier.dedup_candidates).
-            composite = keys * span + values
-            composite.sort()
-            out_keys = composite // span
-            last = np.empty(composite.size, dtype=bool)
-            last[-1] = True
-            np.not_equal(out_keys[1:], out_keys[:-1], out=last[:-1])
-            composite = composite[last]
-            out_keys = out_keys[last]
-            return out_keys, composite - out_keys * span
-        order = np.lexsort((values, keys))
-        keys, values = keys[order], values[order]
-        last = np.empty(keys.size, dtype=bool)
-        last[-1] = True
-        np.not_equal(keys[1:], keys[:-1], out=last[:-1])
-        return keys[last], values[last]
 
 
 class _BitOr(Semiring):
@@ -138,6 +106,7 @@ class _BitOr(Semiring):
     """
 
     dtype = np.uint64
+    kernel_op = "or"
 
     def __init__(self):
         super().__init__(name="bit-or", identity=0)
@@ -145,32 +114,14 @@ class _BitOr(Semiring):
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.bitwise_or(a, b)
 
-    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
-        np.bitwise_or.at(dense, positions, values)
-
-    def reduce_sorted_runs(
-        self, keys: np.ndarray, values: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        if keys.size == 0:
-            return keys, values
-        return _reduceat_runs(keys, values, np.bitwise_or)
-
 
 class _MinCombine(Semiring):
     """Shared ``min`` combine for the level- and distance-merging semirings."""
 
+    kernel_op = "min"
+
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.minimum(a, b)
-
-    def reduce_at(self, dense: np.ndarray, positions: np.ndarray, values: np.ndarray) -> None:
-        np.minimum.at(dense, positions, values)
-
-    def reduce_sorted_runs(
-        self, keys: np.ndarray, values: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        if keys.size == 0:
-            return keys, values
-        return _reduceat_runs(keys, values, np.minimum)
 
 
 class _MinLevel(_MinCombine):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.sparse.semiring import SELECT_MAX, Semiring
 
 
@@ -63,7 +64,7 @@ class SPA:
                 np.empty(0, dtype=np.int64),
                 np.empty(0, dtype=self.semiring.dtype),
             )
-        touched = np.unique(np.concatenate(self._touched))
+        touched = kernels.unique_sorted(np.concatenate(self._touched))
         return touched, self._dense[touched]
 
     def reset(self) -> None:

@@ -14,6 +14,11 @@ Both return identical results under the (select, max) semiring, plus a
 charge the memory model.  :func:`spmsv` is the polyalgorithm: Figure 3
 locates the crossover near 10,000 cores, so the default predicate switches
 on the modeled concurrency (and memory pressure).
+
+The per-element combines run through the semiring's kernel ops
+(:mod:`repro.kernels`: ``scatter_reduce`` for the SPA scatter,
+``reduce_runs`` for the heap's run merge), so the ``REPRO_KERNELS``
+backend switch covers both kernels.
 """
 
 from __future__ import annotations

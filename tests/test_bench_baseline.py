@@ -1,4 +1,4 @@
-"""The committed perf baseline: regenerable and gate-clean.
+"""The committed perf baselines: regenerable and gate-clean.
 
 ``benchmarks/BENCH_baseline.json`` is the first frozen run report of the
 canonical Graph 500 configuration (scale-13 R-MAT, 2D BFS, 16 ranks on
@@ -8,6 +8,13 @@ compare their candidate reports against it with ``repro-bench perf-diff``
 the report through the exact CLI recipe must reproduce the committed
 file bit for bit, and a self-diff through the gate must pass with zero
 delta on every gated metric.
+
+``benchmarks/BENCH_kernels.json`` is the same recipe re-run after the
+kernel vectorization: every modeled metric must equal the baseline's
+(the backends are bit-identical), and its extra ``wallclock`` section
+records the measured numpy-vs-python comparison — host-dependent, so it
+informs the trajectory but never gates, and only its committed floor
+(>= 5x on the scale-16 recipe) is asserted here.
 """
 
 from __future__ import annotations
@@ -18,7 +25,9 @@ from pathlib import Path
 from repro.cli import main
 from repro.obs.regress import perf_diff
 
-BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_baseline.json"
+_BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BASELINE = _BENCH_DIR / "BENCH_baseline.json"
+KERNELS_POINT = _BENCH_DIR / "BENCH_kernels.json"
 
 #: The exact CLI recipe that produced the committed baseline (and that
 #: later PRs run to produce their candidate reports).
@@ -53,3 +62,17 @@ def test_baseline_self_diff_passes_the_gate(tmp_path):
     for delta in diff.deltas:
         if delta.baseline is not None and delta.candidate is not None:
             assert delta.baseline == delta.candidate, delta
+
+
+def test_kernels_point_matches_baseline_modulo_wallclock():
+    """The vectorization PR's trajectory point is the baseline recipe's
+    exact modeled output — the kernel refactor changed wall-clock only —
+    plus the measured ``wallclock`` section."""
+    point = json.loads(KERNELS_POINT.read_text())
+    wallclock = point.pop("wallclock")
+    assert point == json.loads(BASELINE.read_text())
+    assert wallclock["recipe.speedup"] >= 5.0
+    for algorithm in ("1d", "2d", "msbfs"):
+        assert wallclock[f"{algorithm}.python_seconds"] > 0
+        assert wallclock[f"{algorithm}.numpy_seconds"] > 0
+        assert wallclock[f"{algorithm}.speedup"] > 1.0

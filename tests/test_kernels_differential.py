@@ -1,0 +1,502 @@
+"""Differential tests: every numpy kernel against its python reference.
+
+Each :data:`repro.kernels.KERNELS` entry carries a battery of cases —
+randomized plus the adversarial shapes the hot paths actually hit (empty
+frontier, single vertex, all-ones bitmap, lane word ``0`` and ``2**63``,
+owner boundaries at ``p`` not dividing ``n``) — and every case is run
+through the dispatching facade under *both* backends, asserting the
+results are bit-identical: same values, same dtypes, same error
+messages.  The coverage meta-test at the bottom fails the suite when a
+kernel is added to :data:`~repro.kernels.KERNELS` without a differential
+case, mirroring the registry coverage pattern of
+``tests/test_registry_coverage.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import kernels
+
+BACKENDS = sorted(kernels.BACKENDS)
+
+I64_MIN = -(1 << 63)
+I64_MAX = (1 << 63) - 1
+
+
+def _rng(tag: str):
+    """Deterministic per-case generator (stable across runs and backends)."""
+    return np.random.default_rng(zlib.crc32(tag.encode()))
+
+
+def _i64(*values) -> np.ndarray:
+    return np.array(values, dtype=np.int64)
+
+
+def _u64(*values) -> np.ndarray:
+    return np.array(values, dtype=np.uint64)
+
+
+# -- case table ---------------------------------------------------------------
+#
+# kernel name -> {case name -> zero-arg factory returning the call args}.
+# Factories return *fresh* arrays on every call so the in-place kernel
+# (scatter_reduce) cannot leak state between the two backend runs.
+
+def _random_pairs(tag, n, nkeys, lo=0, hi=1000):
+    rng = _rng(tag)
+    return (
+        rng.integers(0, nkeys, n),
+        rng.integers(lo, hi, n),
+    )
+
+
+def _lhs_random(tag):
+    """Random runs tiling ``hits`` exactly (the kernel's contract)."""
+    rng = _rng(tag)
+    counts = rng.integers(1, 9, 30)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    hits = rng.random(int(counts.sum())) < 0.2
+    return hits, starts, counts
+
+
+def _scatter_args(tag, op, length=24, n=70, dtype=np.int64):
+    rng = _rng(tag)
+    identity = {"max": -1, "min": 1 << 62, "or": 0}[op]
+    dense = np.full(length, identity, dtype=dtype)
+    positions = rng.integers(0, length, n)
+    if dtype == np.uint64:
+        values = rng.integers(0, I64_MAX, n, dtype=np.uint64) | np.uint64(1 << 63)
+    else:
+        values = rng.integers(0, 1 << 40, n)
+    return dense, positions, values, op
+
+CASES: dict[str, dict] = {
+    "dedup_max": {
+        "empty": lambda: (_i64(), _i64()),
+        "single-vertex": lambda: (_i64(7), _i64(3)),
+        "dup-heavy": lambda: _random_pairs("dedup-dup", 300, 20),
+        "all-same-target": lambda: (
+            np.zeros(50, dtype=np.int64),
+            _rng("dedup-same").permutation(50),
+        ),
+        "negative-parent-lexsort-path": lambda: (
+            _i64(5, 5, 2, 2), _i64(-1, 3, 7, -1)
+        ),
+        "huge-parents-lexsort-path": lambda: (
+            _i64(3, 3, 1), _i64(I64_MAX - 1, I64_MAX, 1 << 62)
+        ),
+    },
+    "reduce_runs": {
+        "empty-min": lambda: (_i64(), _i64(), "min"),
+        "max": lambda: (*_random_pairs("rr-max", 200, 15), "max"),
+        "min": lambda: (*_random_pairs("rr-min", 200, 15), "min"),
+        "or-lane-words": lambda: (
+            _rng("rr-or").integers(0, 12, 150),
+            _rng("rr-or-w").integers(0, I64_MAX, 150, dtype=np.uint64),
+            "or",
+        ),
+        "or-high-bit": lambda: (
+            _i64(4, 4, 4), _u64(1 << 63, 1, 0), "or"
+        ),
+    },
+    "scatter_reduce": {
+        "max": lambda: _scatter_args("sc-max", "max"),
+        "min": lambda: _scatter_args("sc-min", "min"),
+        "or-64-lane": lambda: _scatter_args("sc-or", "or", dtype=np.uint64),
+        "empty": lambda: (
+            np.full(8, -1, dtype=np.int64), _i64(), _i64(), "max"
+        ),
+    },
+    "bucket_by_owner": {
+        "empty": lambda: (_i64(), 5, _i64(), _i64()),
+        "single-vertex": lambda: (_i64(2), 4, _i64(9), _i64(1)),
+        "boundaries-p-not-dividing-n": lambda: (
+            # n = 53 vertices over p = 7 owners: boundary owners 0 and
+            # p-1 both occupied, uneven bucket sizes.
+            _rng("bucket").integers(0, 7, 53), 7,
+            np.arange(53, dtype=np.int64),
+            _rng("bucket-p").integers(0, 100, 53),
+        ),
+        "mixed-dtypes": lambda: (
+            _i64(1, 0, 1, 2), 3,
+            _i64(10, 11, 12, 13),
+            _u64(1 << 63, 0, 1, 7),
+        ),
+        "empty-buckets": lambda: (
+            _i64(3, 3, 3), 9, _i64(1, 2, 3)
+        ),
+    },
+    "pack_pairs": {
+        "empty": lambda: (_i64(), _i64()),
+        "single": lambda: (_i64(4), _i64(-1)),
+        "random": lambda: _random_pairs("pack", 80, 500),
+    },
+    "unpack_pairs": {
+        "empty": lambda: (_i64(),),
+        "roundtrip": lambda: (
+            kernels.pack_pairs(*_random_pairs("unpack", 60, 400)),
+        ),
+    },
+    "pack_bitmap": {
+        "empty-frontier": lambda: (_i64(), 0, 130),
+        "single-vertex": lambda: (_i64(64), 0, 65),
+        "all-ones": lambda: (np.arange(130, dtype=np.int64), 0, 130),
+        "offset-range": lambda: (
+            _rng("pb").integers(1000, 1130, 40), 1000, 130
+        ),
+        "last-bit": lambda: (_i64(127), 0, 128),
+    },
+    "unpack_bitmap": {
+        "zero-bits": lambda: (_u64(), 0),
+        "all-ones": lambda: (
+            np.full(3, (1 << 64) - 1, dtype=np.uint64), 130
+        ),
+        "word-zero": lambda: (_u64(0, 0), 100),
+        "high-bit": lambda: (_u64(1 << 63), 64),
+        "roundtrip": lambda: (
+            kernels.pack_bitmap(
+                _rng("ub").integers(0, 200, 70), 0, 200
+            ),
+            200,
+        ),
+    },
+    "popcount": {
+        "empty": lambda: (_u64(),),
+        "word-zero": lambda: (_u64(0),),
+        "high-bit": lambda: (_u64(1 << 63),),
+        "all-ones-word": lambda: (_u64((1 << 64) - 1),),
+        "random": lambda: (
+            _rng("pc").integers(0, I64_MAX, 64, dtype=np.uint64),
+        ),
+    },
+    "last_hit_scan": {
+        "empty": lambda: (np.zeros(0, dtype=bool), _i64(), _i64()),
+        "no-hits": lambda: (
+            np.zeros(10, dtype=bool), _i64(0, 4), _i64(4, 6)
+        ),
+        "all-hits": lambda: (
+            np.ones(10, dtype=bool), _i64(0, 4), _i64(4, 6)
+        ),
+        "single-element-runs": lambda: (
+            np.array([True, False, True], dtype=bool),
+            _i64(0, 1, 2),
+            _i64(1, 1, 1),
+        ),
+        "random": lambda: _lhs_random("lhs"),
+    },
+    "lane_prune": {
+        "empty": lambda: (_i64(), _i64(), _u64(), 64),
+        "single": lambda: (_i64(3), _i64(9), _u64(5), 64),
+        "lane-word-zero": lambda: (
+            _i64(1, 1, 2), _i64(5, 4, 3), _u64(0, 1, 0), 64
+        ),
+        "lane-word-high-bit": lambda: (
+            _i64(7, 7, 7), _i64(9, 8, 7),
+            _u64(1 << 63, 1 << 63, 1), 64,
+        ),
+        "bits-above-nlanes-masked": lambda: (
+            _i64(4, 4), _i64(2, 1), _u64(1 << 8, 1), 8
+        ),
+        "random": lambda: (
+            _rng("lp-t").integers(0, 30, 200),
+            _rng("lp-s").integers(0, 100, 200),
+            _rng("lp-w").integers(0, I64_MAX, 200, dtype=np.uint64),
+            64,
+        ),
+    },
+    "unique_sorted": {
+        "empty": lambda: (_i64(),),
+        "dups": lambda: (_rng("uq").integers(0, 25, 200),),
+    },
+    "varint_sizes": {
+        "empty": lambda: (_i64(),),
+        "thresholds": lambda: (
+            _i64(0, 1, 127, 128, (1 << 14) - 1, 1 << 14, I64_MAX, -1, I64_MIN),
+        ),
+        "random": lambda: (
+            _rng("vs").integers(I64_MIN, I64_MAX, 100),
+        ),
+    },
+    "varint_encode": {
+        "empty": lambda: (_i64(),),
+        "thresholds": lambda: (
+            _i64(0, 1, 127, 128, (1 << 14) - 1, 1 << 14, I64_MAX, -1, I64_MIN),
+        ),
+        "random": lambda: (
+            _rng("ve").integers(I64_MIN, I64_MAX, 100),
+        ),
+    },
+    "varint_decode": {
+        "empty": lambda: (np.empty(0, dtype=np.uint8),),
+        "roundtrip-thresholds": lambda: (
+            kernels.varint_encode(
+                _i64(0, 1, 127, 128, I64_MAX, -1, I64_MIN)
+            ),
+        ),
+        "roundtrip-random": lambda: (
+            kernels.varint_encode(
+                _rng("vd").integers(I64_MIN, I64_MAX, 100)
+            ),
+        ),
+        "max-length-wrap": lambda: (
+            # 10 bytes whose spilled high groups wrap past bit 63.
+            np.array([0xFF] * 9 + [0x7F], dtype=np.uint8),
+        ),
+    },
+    "delta_encode": {
+        "empty": lambda: (_i64(),),
+        "single": lambda: (_i64(42),),
+        "sorted-random": lambda: (
+            np.sort(_rng("de").integers(0, 1 << 40, 100)),
+        ),
+        "int64-wrap": lambda: (_i64(I64_MIN, I64_MAX),),
+    },
+    "delta_decode": {
+        "empty": lambda: (_i64(),),
+        "roundtrip": lambda: (
+            kernels.delta_encode(np.sort(_rng("dd").integers(0, 1 << 40, 100))),
+        ),
+        "uint64-wrap": lambda: (
+            kernels.delta_encode(_i64(I64_MIN, I64_MAX)),
+        ),
+    },
+}
+
+DIFFERENTIAL_CASES = sorted(
+    (kernel, case) for kernel, cases in CASES.items() for case in cases
+)
+
+
+def _normalize(result):
+    """Flatten a kernel result into comparable (value, dtype) leaves."""
+    if result is None:
+        return [None]
+    if isinstance(result, np.ndarray):
+        return [(result.tolist(), result.dtype)]
+    if isinstance(result, (tuple, list)):
+        return [leaf for item in result for leaf in _normalize(item)]
+    return [result]
+
+
+def _run_case(kernel: str, case: str, backend: str):
+    """One backend's (result, mutated-dense) pair for a case."""
+    args = CASES[kernel][case]()
+    with kernels.use_backend(backend):
+        assert kernels.active_backend() == backend
+        result = getattr(kernels, kernel)(*args)
+    # scatter_reduce mutates its first argument in place.
+    mutated = args[0] if kernel == "scatter_reduce" else None
+    return _normalize(result), _normalize(mutated)
+
+
+@pytest.mark.parametrize("kernel,case", DIFFERENTIAL_CASES)
+def test_backends_bit_identical(kernel, case):
+    """The numpy backend matches the pure-python reference exactly —
+    values and dtypes — on every adversarial and randomized case."""
+    python = _run_case(kernel, case, "python")
+    numpy = _run_case(kernel, case, "numpy")
+    assert python == numpy
+
+
+#: (kernel, args-factory, error-message substring): both backends must
+#: reject invalid input with an identical ValueError, because the codec
+#: layer interpolates these messages into CodecError and the comm tests
+#: match on them.
+ERROR_CASES = {
+    "bucket-owner-out-of-range": (
+        "bucket_by_owner",
+        lambda: (_i64(0, 5), 5, _i64(1, 2)),
+        "owners out of range [0, 5)",
+    ),
+    "bucket-owner-negative": (
+        "bucket_by_owner",
+        lambda: (_i64(-1), 3, _i64(1)),
+        "owners out of range [0, 3)",
+    ),
+    "pack-pairs-length-mismatch": (
+        "pack_pairs",
+        lambda: (_i64(1, 2), _i64(1)),
+        "vertices/parents must be equal length",
+    ),
+    "unpack-pairs-odd": (
+        "unpack_pairs",
+        lambda: (_i64(1, 2, 3),),
+        "pair buffer has odd length 3",
+    ),
+    "varint-truncated": (
+        "varint_decode",
+        lambda: (np.array([0x80], dtype=np.uint8),),
+        "truncated varint stream: last byte has continuation bit",
+    ),
+    "varint-overlong": (
+        "varint_decode",
+        lambda: (np.array([0xFF] * 10 + [0x00], dtype=np.uint8),),
+        "varint longer than 10 bytes in stream",
+    ),
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(ERROR_CASES))
+def test_error_messages_identical(backend, name):
+    kernel, factory, message = ERROR_CASES[name]
+    with kernels.use_backend(backend):
+        with pytest.raises(ValueError) as exc:
+            getattr(kernels, kernel)(*factory())
+    assert str(exc.value) == message
+
+
+# -- coverage meta-tests ------------------------------------------------------
+
+def test_every_kernel_has_differential_cases():
+    """A kernel added to KERNELS without a differential battery (or a
+    battery for a dropped kernel) fails here by name."""
+    assert set(CASES) == set(kernels.KERNELS)
+
+
+def test_every_kernel_battery_is_adversarial():
+    """Each battery carries at least one empty/degenerate case and one
+    non-trivial case, so a lazy single-case entry cannot slip through."""
+    for kernel, cases in CASES.items():
+        assert len(cases) >= 2, kernel
+
+
+def test_both_backend_modules_export_every_kernel():
+    from repro.kernels import numpy_backend, reference
+
+    for name in kernels.KERNELS:
+        assert callable(getattr(numpy_backend, name)), name
+        assert callable(getattr(reference, name)), name
+
+
+# -- backend selection --------------------------------------------------------
+
+def test_set_backend_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.set_backend("cupy")
+
+
+def test_use_backend_restores_previous():
+    before = kernels.active_backend()
+    with kernels.use_backend("python"):
+        assert kernels.active_backend() == "python"
+    assert kernels.active_backend() == before
+
+
+def test_set_backend_none_reapplies_env_policy(monkeypatch):
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    previous = kernels.active_backend()
+    try:
+        assert kernels.set_backend(None) == "numpy"
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        assert kernels.set_backend(None) == "python"
+        monkeypatch.setenv(kernels.ENV_VAR, "fortran")
+        with pytest.raises(ValueError, match="not a kernel backend"):
+            kernels.set_backend(None)
+    finally:
+        kernels.set_backend(previous)
+
+
+def _subprocess(code: str, **env_overrides) -> subprocess.CompletedProcess:
+    env = {k: v for k, v in os.environ.items() if k != kernels.ENV_VAR}
+    env.update(env_overrides)
+    env.setdefault("PYTHONPATH", "src")
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(code)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+
+
+def test_env_var_selects_python_backend():
+    proc = _subprocess(
+        """
+        import repro.kernels as kernels
+        assert kernels.active_backend() == "python"
+        """,
+        REPRO_KERNELS="python",
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_env_var_rejects_unknown_backend():
+    proc = _subprocess(
+        """
+        import repro.kernels as kernels
+        try:
+            kernels.active_backend()
+        except ValueError as exc:
+            assert "not a kernel backend" in str(exc)
+        else:
+            raise SystemExit("unknown backend accepted")
+        """,
+        REPRO_KERNELS="fortran",
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_numpy_absent_falls_back_to_python_backend():
+    """With numpy unimportable, repro.kernels still imports, silently
+    selects the reference backend, and the kernels run on plain lists."""
+    proc = _subprocess(
+        """
+        import sys
+        sys.modules["numpy"] = None  # makes ``import numpy`` raise ImportError
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            import repro.kernels as kernels
+            assert kernels.active_backend() == "python"
+        t, p = kernels.dedup_max([3, 1, 3], [5, 2, 9])
+        assert (t, p) == ([1, 3], [2, 9])
+        stream = kernels.varint_encode([0, 127, 128, -1])
+        assert kernels.varint_decode(stream) == [0, 127, 128, -1]
+        words = kernels.pack_bitmap([0, 64, 129], 0, 130)
+        assert kernels.popcount(words) == [1, 1, 1]
+        """
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_numpy_absent_explicit_numpy_request_warns():
+    proc = _subprocess(
+        """
+        import sys
+        sys.modules["numpy"] = None
+        import warnings
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.kernels as kernels
+            assert kernels.active_backend() == "python"
+        assert any("falling back" in str(w.message) for w in caught)
+        """,
+        REPRO_KERNELS="numpy",
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_numpy_absent_programmatic_numpy_request_raises():
+    proc = _subprocess(
+        """
+        import sys
+        sys.modules["numpy"] = None
+        import repro.kernels as kernels
+        try:
+            kernels.set_backend("numpy")
+        except ImportError:
+            pass
+        else:
+            raise SystemExit("set_backend('numpy') succeeded without numpy")
+        """
+    )
+    assert proc.returncode == 0, proc.stderr

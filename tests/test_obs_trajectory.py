@@ -171,11 +171,25 @@ class TestTrajectoryCli:
         bogus.write_text(json.dumps({"schema": "nope"}))
         assert main(["trajectory", str(tmp_path)]) == 2
 
-    def test_committed_baseline_is_a_valid_trajectory_point(self):
-        # The repo's committed baseline must load and analyze cleanly —
-        # a single point: nothing to gate, but the dashboard renders.
+    def test_committed_baselines_form_a_clean_trajectory(self):
+        # The committed s13 series must load and analyze cleanly with no
+        # regression: BENCH_kernels re-runs the exact baseline recipe, so
+        # its gated metrics sit on the trajectory; its extra wall-clock
+        # section flows through as informational points.
         traj = analyze_trajectory("benchmarks")
         assert traj.ok
-        assert traj.names == ["BENCH_baseline"]
+        assert traj.names == ["BENCH_baseline", "BENCH_kernels"]
+        assert traj.trend("time.total") is not None
+        speedup = traj.trend("wallclock.recipe.speedup")
+        assert speedup is not None and speedup.latest >= 5.0
+        assert not speedup.gated
+
+    def test_committed_scale18_series_is_valid(self):
+        # The scale-18 recipe opens its own series (different graph, so
+        # its gated metrics must not share a trajectory with the s13
+        # points): a single clean anchor point.
+        traj = analyze_trajectory("benchmarks/scale18")
+        assert traj.ok
+        assert traj.names == ["BENCH_scale18"]
         assert traj.trend("time.total") is not None
         assert "PASS" in traj.render()

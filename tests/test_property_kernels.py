@@ -1,0 +1,107 @@
+"""Backend-equivalence sweep: full runs under both kernel backends.
+
+For every registered algorithm, one complete timed traversal is run
+under ``REPRO_KERNELS=numpy`` and again under ``REPRO_KERNELS=python``
+and the *entire* observable output is asserted identical — levels,
+parents, level count, traversed-edge count, and the modeled time
+breakdown.  This is the end-to-end half of the kernels bit-identity
+contract (the per-kernel half is ``tests/test_kernels_differential.py``):
+swapping the backend may change wall-clock only, never results.
+
+``KERNEL_BACKEND_ALGORITHMS`` is an import-time snapshot of the
+registry, wired into ``tests/test_registry_coverage.py`` as the
+``kernel-backend`` harness — registering an algorithm that skips this
+sweep fails the coverage meta-test by name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+from repro.core import run_bfs
+from repro.core.runner import ALGORITHMS
+from repro.graphs.rmat import rmat_graph
+from repro.query import run_query
+
+from tests.conftest import query_sources
+
+#: Every registered algorithm; the registry coverage meta-test compares
+#: this import-time list against the live registry.
+KERNEL_BACKEND_ALGORITHMS = sorted(ALGORITHMS)
+
+#: Small-but-structured instance: R-MAT keeps hubs (dense middle levels,
+#: bottom-up switches) while staying cheap enough for the pure-python
+#: backend at full registry width.
+GRAPH = rmat_graph(8, 8, seed=2)
+SOURCE = 17
+NPROCS = 4
+
+
+def _run(algorithm: str, **kwargs):
+    """One timed run of ``algorithm``, dispatched by registry kind."""
+    kind = ALGORITHMS[algorithm].kind
+    common = dict(algorithm=algorithm, nprocs=NPROCS, machine="hopper")
+    common.update(kwargs)
+    if kind == "bfs":
+        return run_bfs(GRAPH, SOURCE, **common)
+    if kind == "msbfs":
+        return run_query(
+            GRAPH, sources=query_sources(GRAPH, SOURCE, 4), **common
+        )
+    if kind == "cc":
+        return run_query(GRAPH, **common)
+    if kind == "sssp":
+        return run_query(GRAPH, sources=[SOURCE], **common)
+    if kind == "landmark":
+        return run_query(GRAPH, landmarks=4, **common)
+    raise AssertionError(f"kind {kind!r} has no backend-sweep runner")
+
+
+def _observe(result) -> dict:
+    """Everything a backend switch must leave bit-identical."""
+    return {
+        "levels": result.levels.tolist(),
+        "parents": result.parents.tolist(),
+        "nlevels": result.nlevels,
+        "m_traversed": result.m_traversed,
+        "time_total": result.time_total,
+        "time_comm": result.time_comm,
+        "time_comp": result.time_comp,
+    }
+
+
+def test_every_kind_has_a_backend_sweep_runner():
+    """A registry entry with a new kind must extend :func:`_run`."""
+    for kind in {spec.kind for spec in ALGORITHMS.values()}:
+        assert kind in ("bfs", "msbfs", "cc", "sssp", "landmark"), kind
+
+
+@pytest.mark.parametrize("algorithm", KERNEL_BACKEND_ALGORITHMS)
+def test_backend_switch_preserves_full_run(algorithm):
+    """numpy-backend and python-backend runs agree on every observable:
+    parents, levels, counts, and the modeled time breakdown."""
+    with kernels.use_backend("numpy"):
+        vectorized = _observe(_run(algorithm))
+    with kernels.use_backend("python"):
+        reference = _observe(_run(algorithm))
+    assert vectorized == reference
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    sorted(
+        name
+        for name, spec in ALGORITHMS.items()
+        if "wire" in spec.capabilities and not spec.hybrid
+    ),
+)
+def test_backend_switch_preserves_codec_runs(algorithm):
+    """The compressed wire path (auto codec picks per buffer, so raw,
+    delta-varint and bitmap images are all built) is backend-invariant
+    too — the varint/delta kernels feed real exchanges here."""
+    with kernels.use_backend("numpy"):
+        vectorized = _observe(_run(algorithm, codec="auto"))
+    with kernels.use_backend("python"):
+        reference = _observe(_run(algorithm, codec="auto"))
+    assert vectorized == reference

@@ -12,7 +12,9 @@ declared capability:
   battery, its flat variant in the crash-at-every-level sweep;
 * every ``"trace-profile"``-capable family appears in the trace
   invariants;
-* every engine family has a committed golden fixture configuration.
+* every engine family has a committed golden fixture configuration;
+* every algorithm appears in the kernel-backend equivalence sweep
+  (numpy vs pure-python kernels, ``tests/test_property_kernels.py``).
 
 Because the harness lists are import-time snapshots, registering an
 algorithm without extending the harness predicates (or, for golden,
@@ -28,7 +30,12 @@ from pathlib import Path
 
 from repro.core.runner import ALGORITHMS, ENGINE_CAPABILITIES, AlgorithmSpec
 
-from tests import test_property_bfs, test_property_faults, test_trace_invariants
+from tests import (
+    test_property_bfs,
+    test_property_faults,
+    test_property_kernels,
+    test_trace_invariants,
+)
 
 _spec = importlib.util.spec_from_file_location(
     "registry_coverage_capture",
@@ -67,6 +74,7 @@ def required_coverage(registry: dict[str, AlgorithmSpec]) -> dict[str, set]:
             for name, spec in registry.items()
             if {"wire", "faults"} <= spec.capabilities and not spec.hybrid
         },
+        "kernel-backend": set(registry),
     }
 
 
@@ -79,6 +87,7 @@ def harness_coverage() -> dict[str, set]:
         "crash-sweep": set(test_property_faults.SWEEP_ALGORITHMS),
         "trace": set(test_trace_invariants.TRACE_ALGORITHMS),
         "golden": set(golden_capture.CONFIGS),
+        "kernel-backend": set(test_property_kernels.KERNEL_BACKEND_ALGORITHMS),
     }
 
 

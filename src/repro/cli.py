@@ -102,6 +102,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     group.add_argument(
+        "--runtime",
+        default=None,
+        choices=["threads", "sequential", "processes"],
+        help=(
+            "execution backend for the SPMD ranks: threads (default), "
+            "sequential (deterministic round-robin, no timeouts), or "
+            "processes (forked workers, real parallelism); modeled "
+            "outputs are bit-identical across backends "
+            "(default: the REPRO_RUNTIME policy)"
+        ),
+    )
+    group.add_argument(
+        "--spmd-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds a rank may wait at a rendezvous before the run "
+            "aborts as deadlocked (default: REPRO_SPMD_TIMEOUT or 600)"
+        ),
+    )
+    group.add_argument(
         "--fault-spec",
         default=None,
         metavar="SPEC",
@@ -408,6 +430,8 @@ def _run_query_flow(args) -> int:
         faults=args.fault_spec,
         checkpoint_every=args.checkpoint_every,
         max_retries=args.max_retries,
+        runtime=args.runtime,
+        spmd_timeout=args.spmd_timeout,
         validate=True,
         **kwargs,
     )
@@ -465,6 +489,8 @@ def main(argv: list[str] | None = None) -> int:
             faults=args.fault_spec,
             checkpoint_every=args.checkpoint_every,
             max_retries=args.max_retries,
+            runtime=args.runtime,
+            spmd_timeout=args.spmd_timeout,
         )
         print(result.report())
         # Observability artifacts describe the first (traced) search.

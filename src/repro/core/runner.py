@@ -39,6 +39,7 @@ from repro.graphs.graph import Graph
 from repro.model.costmodel import DIROP_ALPHA, DIROP_BETA, NetworkCostModel
 from repro.model.machine import HOPPER, get_machine
 from repro.mpsim.engine import run_spmd
+from repro.runtime import BACKENDS as RUNTIME_BACKENDS
 from repro.mpsim.stats import SimStats
 from repro.query.cc import ConnectedComponents1D
 from repro.query.msbfs import MSBFS1D
@@ -216,6 +217,8 @@ class RunConfig:
     dirop_beta: float | None = None
     validate: bool = False
     trace: bool = False
+    runtime: str | None = None
+    spmd_timeout: float | None = None
     tracer: object = None
     metrics: object = None
     faults: object = None
@@ -232,6 +235,15 @@ class RunConfig:
         if self.algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+        if self.runtime is not None and self.runtime not in RUNTIME_BACKENDS:
+            raise ValueError(
+                f"unknown execution runtime {self.runtime!r}; "
+                f"known: {sorted(RUNTIME_BACKENDS)}"
+            )
+        if self.spmd_timeout is not None and self.spmd_timeout <= 0:
+            raise ValueError(
+                f"spmd_timeout must be > 0, got {self.spmd_timeout}"
             )
 
     @property
@@ -395,6 +407,8 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
                     src_internal,
                     machine=machine,
                     cost_model=cost_model,
+                    runtime=config.runtime,
+                    timeout=config.spmd_timeout,
                 )
             else:
                 from repro.baselines.graph500_ref import bfs_graph500_ref
@@ -406,6 +420,8 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
                     src_internal,
                     machine=machine,
                     cost_model=cost_model,
+                    runtime=config.runtime,
+                    timeout=config.spmd_timeout,
                 )
         else:  # 2d family
             if config.grid_shape is not None:
@@ -446,6 +462,8 @@ def run(graph: Graph, source: int, config: RunConfig) -> BFSResult:
                 config.faults,
                 config.checkpoint_every,
                 config.max_retries,
+                runtime=config.runtime,
+                timeout=config.spmd_timeout,
             )
         lo_key, hi_key = spec.step.result_keys if spec.step else ("lo", "hi")
         levels_int = np.empty(graph.n, dtype=np.int64)
@@ -522,6 +540,8 @@ def run_bfs(
     dirop_beta: float | None = None,
     validate: bool = False,
     trace: bool = False,
+    runtime: str | None = None,
+    spmd_timeout: float | None = None,
     tracer=None,
     metrics=None,
     faults=None,
@@ -595,6 +615,17 @@ def run_bfs(
         count, words sent, vertices discovered, summed over ranks) in
         ``result.meta["level_profile"]``.  Supported by the 1d/2d
         families; serial runs and baselines leave the profile ``None``.
+    runtime:
+        Execution backend for the SPMD launch: ``"threads"`` (default),
+        ``"sequential"`` (deterministic round-robin scheduler), or
+        ``"processes"`` (forked workers, real parallelism).  ``None``
+        defers to the process-wide policy (``REPRO_RUNTIME``).  All
+        modeled outputs are bit-identical across backends.
+    spmd_timeout:
+        Seconds a rank may wait at a rendezvous before the run aborts
+        as deadlocked.  ``None`` defers to ``REPRO_SPMD_TIMEOUT`` or
+        the 600 s default; the sequential runtime detects deadlocks
+        structurally and ignores it.
     tracer:
         Optional :class:`~repro.obs.Tracer` recording nested per-rank,
         per-level phase spans in virtual time (1d/2d families only).
@@ -646,6 +677,8 @@ def run_bfs(
             dirop_beta=dirop_beta,
             validate=validate,
             trace=trace,
+            runtime=runtime,
+            spmd_timeout=spmd_timeout,
             tracer=tracer,
             metrics=metrics,
             faults=faults,
@@ -670,7 +703,8 @@ _FAULT_COUNTERS = (
 
 
 def _run_resilient(
-    nranks, body, args, kwargs, cost_model, faults, checkpoint_every, max_retries
+    nranks, body, args, kwargs, cost_model, faults, checkpoint_every, max_retries,
+    runtime=None, timeout=None,
 ):
     """Launch an SPMD BFS with the run's fault plan armed.
 
@@ -689,7 +723,11 @@ def _run_resilient(
     Returns ``(SpmdResult, fault_meta | None)``.
     """
     if faults is None and checkpoint_every is None and max_retries is None:
-        return run_spmd(nranks, body, *args, cost_model=cost_model, **kwargs), None
+        spmd = run_spmd(
+            nranks, body, *args, cost_model=cost_model,
+            runtime=runtime, timeout=timeout, **kwargs,
+        )
+        return spmd, None
 
     plan = resolve_fault_plan(faults)
     if len(plan) and plan.max_rank() >= nranks:
@@ -721,6 +759,8 @@ def _run_resilient(
             body,
             *args,
             cost_model=cost_model,
+            runtime=runtime,
+            timeout=timeout,
             base_time=base,
             faults=fault_ctx,
             checkpoint=checkpoint,

@@ -44,6 +44,12 @@ class RankCrashError(FaultError):
         self.level = level
         self.event_index = event_index
 
+    def __reduce__(self):
+        # Crash markers ride in rank result dicts across process
+        # boundaries; the default exception reduction would replay
+        # ``__init__`` with the formatted message and lose the fields.
+        return (RankCrashError, (self.rank, self.level, self.event_index))
+
 
 class RetryExhaustedError(FaultError):
     """A collective kept faulting past the policy's retry budget.
@@ -61,6 +67,9 @@ class RetryExhaustedError(FaultError):
         self.site = site
         self.level = level
         self.attempts = attempts
+
+    def __reduce__(self):
+        return (RetryExhaustedError, (self.site, self.level, self.attempts))
 
 
 class UndetectedCorruptionError(FaultError):

@@ -1,15 +1,16 @@
-"""MPI-style communicator over the thread-based simulation engine.
+"""MPI-style communicator over a pluggable simulation engine.
 
-The collective protocol is a three-phase barrier dance:
-
-1. *fill*  — every member deposits ``(arrival_time, payload)`` in its slot;
-2. *combine* — the rank elected by the barrier computes every member's
-   output and completion time (via the engine's cost model);
-3. *drain* — members read their output, update clock and stats, and a final
-   barrier guarantees the slots may be reused for the next call.
+A collective is one call to the engine's rendezvous primitive: every
+member deposits ``(arrival_time, payload)``, and a *reduction* — built
+here, evaluated by the engine exactly once per address space — computes
+every member's output, completion time (via the engine's cost model),
+and transfer share.  Each rank then applies its own slice to its clock
+and wire stats locally.  How ranks are scheduled and where the
+reduction runs is the backend's business (see :mod:`repro.runtime`).
 
 Because completion times depend only on deterministic virtual clocks and
-payload sizes, runs are bit-reproducible regardless of OS scheduling.
+payload sizes, runs are bit-reproducible regardless of OS scheduling —
+and identical across execution backends.
 """
 
 from __future__ import annotations
@@ -67,12 +68,12 @@ class Communicator:
         completion: Callable[[list[float], list], tuple[list[float], list[float]]] | None = None,
     ) -> Any:
         st = self._st
+        engine = self.engine
         arrival = self.clock.time
-        st.slots[self.rank] = (arrival, payload)
-        elected = self.engine.barrier_wait(st) == 0
-        if elected:
-            arrivals = [slot[0] for slot in st.slots]
-            payloads = [slot[1] for slot in st.slots]
+
+        def reduce(slots: list) -> tuple[list, list[float], list[float]]:
+            arrivals = [slot[0] for slot in slots]
+            payloads = [slot[1] for slot in slots]
             outputs = combine(payloads)
             if completion is not None:
                 completions, transfers = completion(arrivals, payloads)
@@ -97,13 +98,15 @@ class Communicator:
                         (max(s, r) / peak) if peak > 0 else 1.0
                         for s, r in zip(sends, recvs)
                     ]
-                cost = self.engine.cost_model.cost(kind, st.size, max_send, max_recv)
+                cost = engine.cost_model.cost(kind, st.size, max_send, max_recv)
                 finish = max(arrivals) + cost
                 completions = [finish] * st.size
                 transfers = [cost * w for w in weights]
-            st.result = (outputs, completions, transfers)
-        self.engine.barrier_wait(st)
-        outputs, completions, transfers = st.result
+            return outputs, completions, transfers
+
+        outputs, completions, transfers = engine.collective(
+            st, self.rank, (arrival, payload), reduce
+        )
         out = outputs[self.rank]
         if kind in _CONTROL_KINDS:
             sent = recv = 0.0
@@ -119,7 +122,6 @@ class Communicator:
             self.stats.events.append(
                 TimelineEvent(kind, arrival, completions[self.rank], sent + recv)
             )
-        self.engine.barrier_wait(st)
         return out
 
     # -- collectives ----------------------------------------------------

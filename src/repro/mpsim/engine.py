@@ -1,201 +1,53 @@
-"""Thread-based SPMD engine with virtual-time accounting.
+"""Back-compat facade over the pluggable execution runtimes.
 
-:func:`run_spmd` launches one thread per simulated rank and hands each a
-:class:`~repro.mpsim.communicator.Communicator`.  Collectives move real
-buffers; completion times are produced by a pluggable
-:class:`CollectiveCostModel` so the same functional execution can be timed
-as if it ran on Franklin, Hopper, or not timed at all.
+Historically this module *was* the thread-based SPMD engine.  The
+substrate now lives in :mod:`repro.runtime` — backend-neutral pieces in
+:mod:`repro.runtime.base`, the thread engine (verbatim) in
+:mod:`repro.runtime.threads`, plus deterministic-sequential and
+process-parallel siblings — and this module re-exports the historical
+names so ``from repro.mpsim.engine import SimEngine, run_spmd, ...``
+keeps working unchanged.
+
+:func:`run_spmd` here is the dispatching entry point: it forwards to
+the active backend (``REPRO_RUNTIME`` / :func:`repro.runtime.set_runtime`)
+unless a ``runtime=`` override names one explicitly.
 """
 
 from __future__ import annotations
 
-import threading
-from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from collections.abc import Callable
 from typing import Any
 
-from repro.mpsim.clock import RankClock
-from repro.mpsim.stats import RankStats, SimStats
+from repro.runtime import get_backend
+from repro.runtime.base import (  # noqa: F401  (historical re-exports)
+    DEFAULT_TIMEOUT,
+    TIMEOUT_ENV_VAR,
+    CollectiveCostModel,
+    SimAborted,
+    SpmdFailure,
+    SpmdResult,
+    ZeroCostModel,
+    default_timeout,
+)
+from repro.runtime.threads import ThreadsEngine, _GroupState  # noqa: F401
 
-#: Default seconds a rank may wait at a barrier before the run is aborted.
-#: Generous, because functional simulations with hundreds of ranks can make
-#: slow progress under the GIL; a genuine deadlock still surfaces.
-DEFAULT_TIMEOUT = 600.0
+#: Historical name of the thread engine; code constructing an engine
+#: directly (rather than going through ``run_spmd``) gets the threads
+#: backend, exactly as before the runtime split.
+SimEngine = ThreadsEngine
 
-
-class SimAborted(RuntimeError):
-    """Raised inside rank threads when the simulation is torn down."""
-
-
-class SpmdFailure(RuntimeError):
-    """Raised by :func:`run_spmd` when a rank body failed.
-
-    Subclasses ``RuntimeError`` with the historical message format, but
-    additionally carries the failing rank, the original exception, and
-    the partial :class:`~repro.mpsim.stats.SimStats` at abort time —
-    which a recovery driver (see :mod:`repro.faults`) needs to restart
-    the run from a checkpoint with a continuous virtual timeline.
-    """
-
-    def __init__(self, rank: int, exc: BaseException, stats: SimStats):
-        super().__init__(f"SPMD rank {rank} failed: {exc!r}")
-        self.rank = rank
-        self.exc = exc
-        self.stats = stats
-
-
-class CollectiveCostModel:
-    """Timing model consulted by the engine at every collective.
-
-    Subclasses override :meth:`cost` (and optionally :meth:`p2p_cost`).
-    The default implementation charges nothing, i.e. collectives act as
-    pure synchronization points in virtual time.
-    """
-
-    def cost(self, kind: str, parties: int, max_send_words: float, max_recv_words: float) -> float:
-        """Seconds from last arrival to completion of one collective call."""
-        return 0.0
-
-    def p2p_cost(self, words: float) -> float:
-        """Seconds for one point-to-point/pairwise-exchange message."""
-        return 0.0
-
-
-class ZeroCostModel(CollectiveCostModel):
-    """Explicit name for the do-not-time model."""
-
-
-class _GroupState:
-    """Shared state of one communicator group (world or split)."""
-
-    __slots__ = ("members", "size", "barrier", "slots", "result")
-
-    def __init__(self, members: Sequence[int]):
-        self.members = list(members)
-        self.size = len(self.members)
-        self.barrier = threading.Barrier(self.size)
-        self.slots: list[Any] = [None] * self.size
-        self.result: Any = None
-
-
-class SimEngine:
-    """Owns clocks, stats, the group registry, and abort machinery."""
-
-    def __init__(
-        self,
-        nranks: int,
-        cost_model: CollectiveCostModel | None = None,
-        timeout: float = DEFAULT_TIMEOUT,
-        record_peers: bool = False,
-        record_timeline: bool = False,
-        base_time: float = 0.0,
-    ):
-        if nranks < 1:
-            raise ValueError(f"nranks must be >= 1, got {nranks}")
-        if base_time < 0:
-            raise ValueError(f"base_time must be >= 0, got {base_time}")
-        self.nranks = nranks
-        self.cost_model = cost_model if cost_model is not None else ZeroCostModel()
-        self.timeout = timeout
-        #: When set, per-destination traffic is recorded in RankStats
-        #: (the rank-to-rank heat-map data of Figure 4-style analyses).
-        self.record_peers = record_peers
-        #: When set, every collective leaves a TimelineEvent on its rank
-        #: (render with repro.mpsim.timeline.render_timeline).
-        self.record_timeline = record_timeline
-        #: Virtual time all rank clocks start at.  Zero for fresh runs; a
-        #: checkpoint-restart attempt resumes where the failed one aborted.
-        self.base_time = base_time
-        self.clocks = [RankClock(time=base_time) for _ in range(nranks)]
-        self.stats = [RankStats() for _ in range(nranks)]
-        self._lock = threading.Lock()
-        self._groups: list[_GroupState] = []
-        self._aborted = threading.Event()
-        self._errors: list[tuple[int, BaseException]] = []
-        self._mailboxes: dict[tuple[int, int], list] = {}
-        self._mailbox_cv = threading.Condition()
-        self.world = self.register_group(range(nranks))
-
-    def register_group(self, members: Sequence[int]) -> _GroupState:
-        state = _GroupState(members)
-        with self._lock:
-            self._groups.append(state)
-        return state
-
-    def abort(self, rank: int, exc: BaseException) -> None:
-        with self._lock:
-            self._errors.append((rank, exc))
-        self._aborted.set()
-        with self._lock:
-            groups = list(self._groups)
-        for group in groups:
-            group.barrier.abort()
-        with self._mailbox_cv:
-            self._mailbox_cv.notify_all()
-
-    def barrier_wait(self, state: _GroupState) -> int:
-        """Wait on a group barrier, translating breakage into SimAborted.
-
-        A barrier broken *without* a recorded abort means a timeout — some
-        rank never arrived (deadlock or divergent collective sequence);
-        that is an error in its own right and must not pass silently.
-        """
-        if self._aborted.is_set():
-            raise SimAborted("simulation aborted")
-        try:
-            return state.barrier.wait(timeout=self.timeout)
-        except threading.BrokenBarrierError:
-            if not self._aborted.is_set():
-                self.abort(
-                    -1,
-                    TimeoutError(
-                        f"collective timed out after {self.timeout}s — a rank "
-                        "never arrived (deadlock or mismatched collectives)"
-                    ),
-                )
-            raise SimAborted("simulation aborted (broken barrier)") from None
-
-    # -- point-to-point ----------------------------------------------------
-    def mailbox_put(self, src: int, dst: int, item: Any) -> None:
-        with self._mailbox_cv:
-            self._mailboxes.setdefault((src, dst), []).append(item)
-            self._mailbox_cv.notify_all()
-
-    def mailbox_get(self, src: int, dst: int) -> Any:
-        deadline = threading.TIMEOUT_MAX
-        with self._mailbox_cv:
-            while True:
-                if self._aborted.is_set():
-                    raise SimAborted("simulation aborted")
-                box = self._mailboxes.get((src, dst))
-                if box:
-                    return box.pop(0)
-                if not self._mailbox_cv.wait(timeout=min(self.timeout, deadline)):
-                    self.abort(
-                        dst,
-                        TimeoutError(
-                            f"recv timed out after {self.timeout}s waiting "
-                            f"for a message {src}->{dst}"
-                        ),
-                    )
-                    raise SimAborted(f"recv timeout waiting for message {src}->{dst}")
-
-    def sim_stats(self) -> SimStats:
-        return SimStats(clocks=self.clocks, comm=self.stats)
-
-
-@dataclass
-class SpmdResult:
-    """Return value of :func:`run_spmd`."""
-
-    returns: list[Any]
-    stats: SimStats
-
-    def __iter__(self):
-        return iter(self.returns)
-
-    def __getitem__(self, rank: int) -> Any:
-        return self.returns[rank]
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "TIMEOUT_ENV_VAR",
+    "CollectiveCostModel",
+    "SimAborted",
+    "SimEngine",
+    "SpmdFailure",
+    "SpmdResult",
+    "ZeroCostModel",
+    "default_timeout",
+    "run_spmd",
+]
 
 
 def run_spmd(
@@ -203,55 +55,39 @@ def run_spmd(
     fn: Callable,
     *args: Any,
     cost_model: CollectiveCostModel | None = None,
-    timeout: float = DEFAULT_TIMEOUT,
+    timeout: float | None = None,
     record_peers: bool = False,
     record_timeline: bool = False,
     base_time: float = 0.0,
+    runtime: str | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
 
-    Every rank executes in its own thread against a shared
-    :class:`SimEngine`.  Exceptions raised by any rank abort the whole run
-    and are re-raised (the first one, with the rank noted) in the caller.
+    Dispatches to the active execution runtime (or ``runtime=`` when
+    given): one rank per thread (``threads``), a deterministic
+    round-robin scheduler (``sequential``), or one forked worker process
+    per rank (``processes``).  All modeled outputs are bit-identical
+    across backends; exceptions raised by any rank abort the whole run
+    and re-raise as :class:`SpmdFailure` in the caller.
+
+    ``timeout=None`` applies the default policy: ``REPRO_SPMD_TIMEOUT``
+    when set, else :data:`DEFAULT_TIMEOUT`.
 
     Returns
     -------
     SpmdResult
-        Per-rank return values plus the run's :class:`SimStats`.
+        Per-rank return values plus the run's SimStats.
     """
-    from repro.mpsim.communicator import Communicator
-
-    engine = SimEngine(
+    backend = get_backend(runtime)
+    return backend.run_spmd(
         nranks,
+        fn,
+        *args,
         cost_model=cost_model,
         timeout=timeout,
         record_peers=record_peers,
         record_timeline=record_timeline,
         base_time=base_time,
+        **kwargs,
     )
-    returns: list[Any] = [None] * nranks
-    threads: list[threading.Thread] = []
-
-    def worker(rank: int) -> None:
-        comm = Communicator(engine, engine.world, rank)
-        try:
-            returns[rank] = fn(comm, *args, **kwargs)
-        except SimAborted:
-            pass
-        except BaseException as exc:  # noqa: BLE001 - must tear down peers
-            engine.abort(rank, exc)
-
-    for rank in range(nranks):
-        thread = threading.Thread(
-            target=worker, args=(rank,), name=f"spmd-rank-{rank}", daemon=True
-        )
-        threads.append(thread)
-        thread.start()
-    for thread in threads:
-        thread.join()
-
-    if engine._errors:
-        rank, exc = engine._errors[0]
-        raise SpmdFailure(rank, exc, engine.sim_stats()) from exc
-    return SpmdResult(returns=returns, stats=engine.sim_stats())

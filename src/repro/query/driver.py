@@ -181,6 +181,8 @@ def _launch(graph, config, resolved, step_args, step_kwargs):
         config.faults,
         config.checkpoint_every,
         config.max_retries,
+        runtime=config.runtime,
+        timeout=config.spmd_timeout,
     )
 
 

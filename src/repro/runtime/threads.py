@@ -1,0 +1,206 @@
+"""Thread-based execution backend (the historical SPMD engine).
+
+One OS thread per simulated rank; collectives rendezvous on a
+``threading.Barrier`` and a timeout converts a genuine deadlock into an
+abort.  The collective protocol is a three-phase barrier dance:
+
+1. *fill* — every member deposits its item in its slot;
+2. *combine* — the rank elected by the barrier evaluates the caller's
+   ``reduce`` over the full slot list;
+3. *drain* — members read the shared result, and a final barrier
+   guarantees the slots may be reused for the next call.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.runtime.base import (
+    CollectiveCostModel,
+    EngineBase,
+    GroupBase,
+    SimAborted,
+    SpmdFailure,
+    SpmdResult,
+)
+
+#: Backend name as selected by ``REPRO_RUNTIME`` / ``runtime=``.
+name = "threads"
+
+
+class _GroupState(GroupBase):
+    """Shared state of one communicator group (world or split)."""
+
+    __slots__ = ("barrier", "slots", "result")
+
+    def __init__(self, members: Sequence[int]):
+        super().__init__(members)
+        self.barrier = threading.Barrier(self.size)
+        self.slots: list[Any] = [None] * self.size
+        self.result: Any = None
+
+
+class ThreadsEngine(EngineBase):
+    """Owns clocks, stats, the group registry, and abort machinery."""
+
+    def __init__(
+        self,
+        nranks: int,
+        cost_model: CollectiveCostModel | None = None,
+        timeout: float | None = None,
+        record_peers: bool = False,
+        record_timeline: bool = False,
+        base_time: float = 0.0,
+    ):
+        self._lock = threading.Lock()
+        self._aborted = threading.Event()
+        self._mailboxes: dict[tuple[int, int], list] = {}
+        self._mailbox_cv = threading.Condition()
+        super().__init__(
+            nranks,
+            cost_model=cost_model,
+            timeout=timeout,
+            record_peers=record_peers,
+            record_timeline=record_timeline,
+            base_time=base_time,
+        )
+
+    def _make_group(self, members: Sequence[int]) -> _GroupState:
+        return _GroupState(members)
+
+    def register_group(self, members: Sequence[int]) -> _GroupState:
+        state = self._make_group(members)
+        with self._lock:
+            self._groups.append(state)
+        return state
+
+    def abort(self, rank: int, exc: BaseException) -> None:
+        with self._lock:
+            self._errors.append((rank, exc))
+        self._aborted.set()
+        with self._lock:
+            groups = list(self._groups)
+        for group in groups:
+            group.barrier.abort()
+        with self._mailbox_cv:
+            self._mailbox_cv.notify_all()
+
+    def barrier_wait(self, state: _GroupState) -> int:
+        """Wait on a group barrier, translating breakage into SimAborted.
+
+        A barrier broken *without* a recorded abort means a timeout — some
+        rank never arrived (deadlock or divergent collective sequence);
+        that is an error in its own right and must not pass silently.
+        """
+        if self._aborted.is_set():
+            raise SimAborted("simulation aborted")
+        try:
+            return state.barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            if not self._aborted.is_set():
+                self.abort(
+                    -1,
+                    TimeoutError(
+                        f"collective timed out after {self.timeout}s — a rank "
+                        "never arrived (deadlock or mismatched collectives)"
+                    ),
+                )
+            raise SimAborted("simulation aborted (broken barrier)") from None
+
+    def collective(
+        self,
+        state: _GroupState,
+        rank: int,
+        item: Any,
+        reduce: Callable[[list], Any],
+    ) -> Any:
+        state.slots[rank] = item
+        if self.barrier_wait(state) == 0:
+            state.result = reduce(list(state.slots))
+        self.barrier_wait(state)
+        result = state.result
+        self.barrier_wait(state)
+        return result
+
+    # -- point-to-point ----------------------------------------------------
+    def mailbox_put(self, src: int, dst: int, item: Any) -> None:
+        with self._mailbox_cv:
+            self._mailboxes.setdefault((src, dst), []).append(item)
+            self._mailbox_cv.notify_all()
+
+    def mailbox_get(self, src: int, dst: int) -> Any:
+        deadline = threading.TIMEOUT_MAX
+        with self._mailbox_cv:
+            while True:
+                if self._aborted.is_set():
+                    raise SimAborted("simulation aborted")
+                box = self._mailboxes.get((src, dst))
+                if box:
+                    return box.pop(0)
+                if not self._mailbox_cv.wait(timeout=min(self.timeout, deadline)):
+                    self.abort(
+                        dst,
+                        TimeoutError(
+                            f"recv timed out after {self.timeout}s waiting "
+                            f"for a message {src}->{dst}"
+                        ),
+                    )
+                    raise SimAborted(f"recv timeout waiting for message {src}->{dst}")
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable,
+    *args: Any,
+    cost_model: CollectiveCostModel | None = None,
+    timeout: float | None = None,
+    record_peers: bool = False,
+    record_timeline: bool = False,
+    base_time: float = 0.0,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` rank threads.
+
+    Every rank executes in its own thread against a shared
+    :class:`ThreadsEngine`.  Exceptions raised by any rank abort the
+    whole run and are re-raised (the first one, with the rank noted) in
+    the caller.
+    """
+    from repro.mpsim.communicator import Communicator
+
+    engine = ThreadsEngine(
+        nranks,
+        cost_model=cost_model,
+        timeout=timeout,
+        record_peers=record_peers,
+        record_timeline=record_timeline,
+        base_time=base_time,
+    )
+    returns: list[Any] = [None] * nranks
+    threads: list[threading.Thread] = []
+
+    def worker(rank: int) -> None:
+        comm = Communicator(engine, engine.world, rank)
+        try:
+            returns[rank] = fn(comm, *args, **kwargs)
+        except SimAborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must tear down peers
+            engine.abort(rank, exc)
+
+    for rank in range(nranks):
+        thread = threading.Thread(
+            target=worker, args=(rank,), name=f"spmd-rank-{rank}", daemon=True
+        )
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    failure = engine.first_failure()
+    if failure is not None:
+        rank, exc = failure
+        raise SpmdFailure(rank, exc, engine.sim_stats()) from exc
+    return SpmdResult(returns=returns, stats=engine.sim_stats())

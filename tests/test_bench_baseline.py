@@ -76,3 +76,40 @@ def test_kernels_point_matches_baseline_modulo_wallclock():
         assert wallclock[f"{algorithm}.python_seconds"] > 0
         assert wallclock[f"{algorithm}.numpy_seconds"] > 0
         assert wallclock[f"{algorithm}.speedup"] > 1.0
+
+
+SCALE18_DIR = _BENCH_DIR / "scale18"
+SCALE18_BASELINE = SCALE18_DIR / "BENCH_scale18.json"
+SCALE18_RUNTIME_POINT = SCALE18_DIR / "BENCH_scale18_runtime.json"
+
+
+def test_baseline_recipe_is_runtime_invariant(tmp_path):
+    """The acceptance check of the runtime split: the exact committed
+    baseline recipe, re-run under the sequential and processes
+    execution backends, reproduces ``BENCH_baseline.json`` bit for bit
+    — parents, levels, modeled times, wire words, spans, metrics."""
+    committed = json.loads(BASELINE.read_text())
+    for runtime_name in ("sequential", "processes"):
+        fresh = tmp_path / f"candidate-{runtime_name}.json"
+        assert (
+            main(RECIPE + ["--runtime", runtime_name, "--report-out", str(fresh)])
+            == 0
+        )
+        assert json.loads(fresh.read_text()) == committed, runtime_name
+
+
+def test_runtime_point_matches_scale18_baseline_modulo_wallclock():
+    """The runtime PR's trajectory point is the scale-18 recipe's exact
+    modeled output — the execution backends are bit-identical — plus the
+    measured ``wallclock`` section.  Wall-clock is host-dependent (the
+    committed numbers come from a single-CPU container, where forked
+    workers can only add overhead), so it informs the trajectory but
+    never gates; only shape and positivity are asserted here."""
+    point = json.loads(SCALE18_RUNTIME_POINT.read_text())
+    wallclock = point.pop("wallclock")
+    assert point == json.loads(SCALE18_BASELINE.read_text())
+    for backend in ("threads", "sequential", "processes"):
+        assert wallclock[f"recipe.{backend}_seconds"] > 0
+    assert wallclock["recipe.processes_speedup"] > 0
+    assert wallclock["recipe.workers"] == 16
+    assert wallclock["recipe.host_cpus"] >= 1

@@ -231,3 +231,47 @@ class TestCommunicatorValidation:
             return True
 
         assert all(run_spmd(3, fn).returns)
+
+
+class TestFailurePickling:
+    """Failure exceptions cross process boundaries intact (the process
+    runtime ships them over a pipe; the default exception reduction
+    would replay ``__init__`` with the formatted message and crash)."""
+
+    def test_spmd_failure_round_trips_rank_exc_stats(self):
+        import pickle
+
+        from repro.mpsim import SpmdFailure
+
+        def fn(comm):
+            comm.allreduce(comm.rank)
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(SpmdFailure) as info:
+            run_spmd(3, fn)
+        failure = info.value
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone.rank == failure.rank == 1
+        assert isinstance(clone.exc, ValueError)
+        assert clone.exc.args == ("boom",)
+        assert str(clone) == str(failure)
+        # The partial stats a recovery driver needs survive too.
+        assert clone.stats.makespan == failure.stats.makespan
+        assert len(clone.stats.clocks) == 3
+
+    def test_fault_exceptions_round_trip(self):
+        import pickle
+
+        from repro.faults import RankCrashError, RetryExhaustedError
+
+        crash = RankCrashError(2, 5, 7)
+        crash_clone = pickle.loads(pickle.dumps(crash))
+        assert (crash_clone.rank, crash_clone.level, crash_clone.event_index) == (2, 5, 7)
+        assert str(crash_clone) == str(crash)
+
+        retry = RetryExhaustedError("allreduce", 3, 4)
+        retry_clone = pickle.loads(pickle.dumps(retry))
+        assert (retry_clone.site, retry_clone.level, retry_clone.attempts) == ("allreduce", 3, 4)
+        assert str(retry_clone) == str(retry)

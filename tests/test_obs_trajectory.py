@@ -187,9 +187,13 @@ class TestTrajectoryCli:
     def test_committed_scale18_series_is_valid(self):
         # The scale-18 recipe opens its own series (different graph, so
         # its gated metrics must not share a trajectory with the s13
-        # points): a single clean anchor point.
+        # points): the kernels anchor plus the runtime-backends point,
+        # whose gated metrics are identical (bit-identity contract) and
+        # whose wallclock.* measurements never gate.
         traj = analyze_trajectory("benchmarks/scale18")
         assert traj.ok
-        assert traj.names == ["BENCH_scale18"]
+        assert traj.names == ["BENCH_scale18", "BENCH_scale18_runtime"]
         assert traj.trend("time.total") is not None
+        wall = traj.trend("wallclock.recipe.processes_seconds")
+        assert wall is not None and not wall.gated
         assert "PASS" in traj.render()

@@ -14,7 +14,10 @@ declared capability:
   invariants;
 * every engine family has a committed golden fixture configuration;
 * every algorithm appears in the kernel-backend equivalence sweep
-  (numpy vs pure-python kernels, ``tests/test_property_kernels.py``).
+  (numpy vs pure-python kernels, ``tests/test_property_kernels.py``);
+* every algorithm appears in the runtime-backend equivalence sweep
+  (threads vs sequential vs processes execution runtimes,
+  ``tests/test_property_runtimes.py``).
 
 Because the harness lists are import-time snapshots, registering an
 algorithm without extending the harness predicates (or, for golden,
@@ -34,6 +37,7 @@ from tests import (
     test_property_bfs,
     test_property_faults,
     test_property_kernels,
+    test_property_runtimes,
     test_trace_invariants,
 )
 
@@ -75,6 +79,7 @@ def required_coverage(registry: dict[str, AlgorithmSpec]) -> dict[str, set]:
             if {"wire", "faults"} <= spec.capabilities and not spec.hybrid
         },
         "kernel-backend": set(registry),
+        "runtime-backend": set(registry),
     }
 
 
@@ -88,6 +93,7 @@ def harness_coverage() -> dict[str, set]:
         "trace": set(test_trace_invariants.TRACE_ALGORITHMS),
         "golden": set(golden_capture.CONFIGS),
         "kernel-backend": set(test_property_kernels.KERNEL_BACKEND_ALGORITHMS),
+        "runtime-backend": set(test_property_runtimes.RUNTIME_BACKEND_ALGORITHMS),
     }
 
 
